@@ -1,0 +1,226 @@
+//! USPS-style abbreviation tables and address-text normalization.
+//!
+//! The paper's §3.3: "for the same street address, some databases might use
+//! 'Ave' instead of Avenue and 'CT' or 'Ct' instead of Court". BQT copes by
+//! normalizing both sides to a canonical token stream before comparing.
+
+use crate::model::{Directional, Suffix};
+
+/// All accepted spellings of each suffix, lowercase (canonical first).
+pub fn suffix_variants(s: Suffix) -> &'static [&'static str] {
+    match s {
+        Suffix::Street => &["st", "street", "str"],
+        Suffix::Avenue => &["ave", "avenue", "av", "aven"],
+        Suffix::Boulevard => &["blvd", "boulevard", "boul", "blv"],
+        Suffix::Court => &["ct", "court", "crt"],
+        Suffix::Drive => &["dr", "drive", "drv"],
+        Suffix::Lane => &["ln", "lane"],
+        Suffix::Road => &["rd", "road"],
+        Suffix::Way => &["way", "wy"],
+        Suffix::Terrace => &["ter", "terrace", "terr"],
+        Suffix::Place => &["pl", "place"],
+        Suffix::Circle => &["cir", "circle", "circ"],
+        Suffix::Parkway => &["pkwy", "parkway", "pky", "pkway"],
+    }
+}
+
+/// All accepted spellings of each directional, lowercase (canonical first).
+pub fn directional_variants(d: Directional) -> &'static [&'static str] {
+    match d {
+        Directional::N => &["n", "north", "no"],
+        Directional::S => &["s", "south", "so"],
+        Directional::E => &["e", "east"],
+        Directional::W => &["w", "west"],
+        Directional::NE => &["ne", "northeast"],
+        Directional::NW => &["nw", "northwest"],
+        Directional::SE => &["se", "southeast"],
+        Directional::SW => &["sw", "southwest"],
+    }
+}
+
+/// Unit designator spellings that all mean "apartment/unit".
+pub const UNIT_MARKERS: &[&str] = &["apt", "apartment", "unit", "ste", "suite", "#"];
+
+fn lookup_suffix(token: &str) -> Option<Suffix> {
+    Suffix::ALL
+        .into_iter()
+        .find(|&s| suffix_variants(s).contains(&token))
+}
+
+fn lookup_directional(token: &str) -> Option<Directional> {
+    Directional::ALL
+        .into_iter()
+        .find(|&d| directional_variants(d).contains(&token))
+}
+
+/// Normalizes free-form address text into canonical lowercase tokens:
+/// punctuation stripped, suffixes and directionals folded to their USPS
+/// abbreviation, unit markers folded to `apt`.
+///
+/// `"742 NORTH Evergreen Terrace, Unit 2B"` →
+/// `["742", "n", "evergreen", "ter", "apt", "2b"]`.
+pub fn normalize_tokens(text: &str) -> Vec<String> {
+    text.split(|c: char| c.is_whitespace() || c == ',' || c == '.')
+        .filter(|t| !t.is_empty())
+        .map(|raw| {
+            // A leading '#' is a unit marker ("#3"); any other '#' is noise.
+            let marker = raw.starts_with('#');
+            let token: String = raw
+                .chars()
+                .filter(char::is_ascii_alphanumeric)
+                .collect::<String>()
+                .to_ascii_lowercase();
+            (marker, token)
+        })
+        .filter(|(marker, t)| *marker || !t.is_empty())
+        .flat_map(|(marker, token)| {
+            // Fold a single token to its canonical form (idempotent).
+            fn fold(token: String) -> String {
+                if let Some(s) = lookup_suffix(&token) {
+                    suffix_variants(s)[0].to_string()
+                } else if let Some(d) = lookup_directional(&token) {
+                    directional_variants(d)[0].to_string()
+                } else if UNIT_MARKERS.contains(&token.as_str()) {
+                    "apt".to_string()
+                } else {
+                    token
+                }
+            }
+            if marker {
+                // "#3" -> ["apt", "3"]; a bare "#" -> ["apt"]. The unit text
+                // folds through the same rules so normalization stays
+                // idempotent ("#av" -> ["apt", "ave"] on every pass).
+                let mut out = vec!["apt".to_string()];
+                if !token.is_empty() {
+                    out.push(fold(token));
+                }
+                out
+            } else {
+                vec![fold(token)]
+            }
+        })
+        .collect()
+}
+
+/// Normalized single-string form (tokens joined by single spaces).
+pub fn normalize_line(text: &str) -> String {
+    normalize_tokens(text).join(" ")
+}
+
+/// Extracts the 5-digit zip code from an address line, if present (the last
+/// standalone 5-digit token).
+pub fn extract_zip(text: &str) -> Option<u32> {
+    text.split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|t| t.len() == 5 && t.bytes().all(|b| b.is_ascii_digit()))
+        .next_back()
+        .and_then(|t| t.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_spellings_all_normalize_to_canonical() {
+        for s in Suffix::ALL {
+            let canon = suffix_variants(s)[0];
+            for v in suffix_variants(s) {
+                assert_eq!(normalize_tokens(v), vec![canon.to_string()], "variant {v}");
+                assert_eq!(
+                    normalize_tokens(&v.to_ascii_uppercase()),
+                    vec![canon.to_string()],
+                    "uppercase variant {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directional_spellings_normalize() {
+        assert_eq!(normalize_line("NORTH Rampart"), "n rampart");
+        assert_eq!(normalize_line("sw Loop"), "sw loop");
+    }
+
+    #[test]
+    fn the_papers_example_ave_vs_avenue() {
+        assert_eq!(
+            normalize_line("123 Washington Avenue"),
+            normalize_line("123 Washington Ave")
+        );
+        assert_eq!(normalize_line("9 Oak CT"), normalize_line("9 Oak Court"));
+        assert_eq!(normalize_line("9 Oak Ct"), normalize_line("9 Oak CT"));
+    }
+
+    #[test]
+    fn unit_markers_fold_to_apt() {
+        for text in [
+            "5 Elm St Apt 3",
+            "5 Elm St Unit 3",
+            "5 Elm St # 3",
+            "5 Elm St Suite 3",
+        ] {
+            assert_eq!(normalize_line(text), "5 elm st apt 3", "{text}");
+        }
+    }
+
+    #[test]
+    fn punctuation_and_case_are_stripped() {
+        assert_eq!(
+            normalize_line("742 Evergreen Ter., New Orleans, LA 70118"),
+            "742 evergreen ter new orleans la 70118"
+        );
+    }
+
+    #[test]
+    fn hash_prefixed_unit_is_detected() {
+        // "#3" splits into the unit marker plus the unit number, so both
+        // spellings normalize identically.
+        assert_eq!(normalize_line("5 Elm St #3"), "5 elm st apt 3");
+        assert_eq!(normalize_line("5 Elm St # 3"), "5 elm st apt 3");
+        assert_eq!(normalize_line("5 Elm St Apt 3"), "5 elm st apt 3");
+    }
+
+    #[test]
+    fn extract_zip_finds_last_five_digit_token() {
+        assert_eq!(
+            extract_zip("742 Evergreen Ter, New Orleans, LA 70118"),
+            Some(70118)
+        );
+        assert_eq!(
+            extract_zip("12345 Main St, Springfield, IL 62704"),
+            Some(62704)
+        );
+        assert_eq!(extract_zip("742 Evergreen Ter"), None);
+    }
+
+    #[test]
+    fn street_named_after_suffix_word_still_normalizes() {
+        // "Park Place" has suffix Place; "Place" as a *name* token would also
+        // fold, which is acceptable: both sides of a comparison fold the
+        // same way.
+        assert_eq!(normalize_line("1 Park Place"), normalize_line("1 Park Pl"));
+    }
+
+    #[test]
+    fn no_variant_is_ambiguous_across_tables() {
+        // A spelling must never map to two different canonical tokens.
+        let mut seen = std::collections::HashMap::new();
+        for s in Suffix::ALL {
+            for v in suffix_variants(s) {
+                assert!(
+                    seen.insert(v.to_string(), suffix_variants(s)[0]).is_none(),
+                    "dup {v}"
+                );
+            }
+        }
+        for d in Directional::ALL {
+            for v in directional_variants(d) {
+                assert!(
+                    seen.insert(v.to_string(), directional_variants(d)[0])
+                        .is_none(),
+                    "dup {v}"
+                );
+            }
+        }
+    }
+}

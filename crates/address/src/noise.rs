@@ -1,0 +1,245 @@
+//! Noise injection: renders canonical addresses the way crowdsourced
+//! listing data actually spells them.
+//!
+//! The paper (§3.1) attributes most BAT query friction to "incomplete,
+//! incorrect, or ambiguous" address data. We reproduce four noise channels:
+//!
+//! 1. **spelling variation** — suffix/directional rendered as a random
+//!    accepted variant with random casing;
+//! 2. **typos** — a dropped, doubled or swapped letter in the street name;
+//! 3. **missing units** — MDU listings that omit the apartment number;
+//! 4. **format drift** — unit marker spelled `Unit`/`#` instead of `Apt`.
+
+use crate::abbrev::{directional_variants, suffix_variants};
+use crate::model::StreetAddress;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probabilities for each noise channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Chance the suffix is spelled as a non-canonical variant.
+    pub p_suffix_variant: f64,
+    /// Chance a token is upper/lower-cased oddly.
+    pub p_case_mangle: f64,
+    /// Chance of a single-character typo in the street name.
+    pub p_typo: f64,
+    /// Chance an MDU listing omits its unit.
+    pub p_drop_unit: f64,
+    /// Chance the unit marker is non-standard ("Unit", "#").
+    pub p_alt_unit_marker: f64,
+}
+
+impl NoiseProfile {
+    /// Calibrated so BQT's end-to-end hit rates land in the paper's
+    /// 82–96% band (Fig. 2a): most listings are clean, a substantial
+    /// minority differ cosmetically, a few percent are genuinely mangled.
+    pub fn zillow_like() -> Self {
+        Self {
+            p_suffix_variant: 0.35,
+            p_case_mangle: 0.20,
+            p_typo: 0.04,
+            p_drop_unit: 0.50,
+            p_alt_unit_marker: 0.30,
+        }
+    }
+
+    /// No noise at all — renders the canonical line.
+    pub fn clean() -> Self {
+        Self {
+            p_suffix_variant: 0.0,
+            p_case_mangle: 0.0,
+            p_typo: 0.0,
+            p_drop_unit: 0.0,
+            p_alt_unit_marker: 0.0,
+        }
+    }
+}
+
+fn mangle_case(rng: &mut StdRng, token: &str) -> String {
+    match rng.gen_range(0..3u8) {
+        0 => token.to_ascii_uppercase(),
+        1 => token.to_ascii_lowercase(),
+        _ => token.to_string(),
+    }
+}
+
+fn inject_typo(rng: &mut StdRng, word: &str) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return word.to_string();
+    }
+    let i = rng.gen_range(1..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            out.remove(i); // drop
+        }
+        1 => {
+            out.insert(i, chars[i]); // double
+        }
+        _ => {
+            out.swap(i, i - 1); // transpose
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Renders `addr` as noisy listing text, deterministic in `seed`.
+///
+/// Returns the rendered line. The city/state/zip tail is kept intact —
+/// listing services validate those — so noise concentrates in the street
+/// part, as the paper observed.
+pub fn render_noisy(addr: &StreetAddress, profile: &NoiseProfile, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0153);
+
+    let mut street_name = addr.street_name.clone();
+    if rng.gen_bool(profile.p_typo) {
+        street_name = inject_typo(&mut rng, &street_name);
+    }
+    if rng.gen_bool(profile.p_case_mangle) {
+        street_name = mangle_case(&mut rng, &street_name);
+    }
+
+    let suffix_text = if rng.gen_bool(profile.p_suffix_variant) {
+        let variants = suffix_variants(addr.suffix);
+        let v = variants[rng.gen_range(0..variants.len())];
+        // Title-case the chosen variant for plausibility.
+        let mut c = v.chars();
+        match c.next() {
+            Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+            None => String::new(),
+        }
+    } else {
+        addr.suffix.abbrev().to_string()
+    };
+    let suffix_text = if rng.gen_bool(profile.p_case_mangle) {
+        mangle_case(&mut rng, &suffix_text)
+    } else {
+        suffix_text
+    };
+
+    let dir_text = addr.directional.map(|d| {
+        if rng.gen_bool(profile.p_suffix_variant) {
+            let variants = directional_variants(d);
+            variants[rng.gen_range(0..variants.len())].to_ascii_uppercase()
+        } else {
+            d.abbrev().to_string()
+        }
+    });
+
+    let unit_text = match &addr.unit {
+        Some(u) if !rng.gen_bool(profile.p_drop_unit) => {
+            let marker = if rng.gen_bool(profile.p_alt_unit_marker) {
+                ["Unit", "#"][rng.gen_range(0..2)]
+            } else {
+                "Apt"
+            };
+            Some(format!("{marker} {u}"))
+        }
+        _ => None,
+    };
+
+    let mut line = format!("{} ", addr.number);
+    if let Some(d) = dir_text {
+        line.push_str(&d);
+        line.push(' ');
+    }
+    line.push_str(&street_name);
+    line.push(' ');
+    line.push_str(&suffix_text);
+    if let Some(u) = unit_text {
+        line.push(' ');
+        line.push_str(&u);
+    }
+    line.push_str(&format!(", {}, {} {:05}", addr.city, addr.state, addr.zip));
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abbrev::normalize_line;
+    use crate::model::{Directional, Suffix};
+
+    fn sample(unit: Option<&str>) -> StreetAddress {
+        StreetAddress {
+            number: 742,
+            directional: Some(Directional::N),
+            street_name: "Evergreen".to_string(),
+            suffix: Suffix::Terrace,
+            unit: unit.map(str::to_string),
+            city: "New Orleans".to_string(),
+            state: "LA".to_string(),
+            zip: 70118,
+        }
+    }
+
+    #[test]
+    fn clean_profile_renders_canonical_line() {
+        let a = sample(Some("2B"));
+        assert_eq!(
+            render_noisy(&a, &NoiseProfile::clean(), 1),
+            a.canonical_line()
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic_in_seed() {
+        let a = sample(Some("2B"));
+        let p = NoiseProfile::zillow_like();
+        assert_eq!(render_noisy(&a, &p, 9), render_noisy(&a, &p, 9));
+    }
+
+    #[test]
+    fn noise_preserves_zip_tail() {
+        let a = sample(None);
+        let p = NoiseProfile::zillow_like();
+        for seed in 0..50 {
+            let line = render_noisy(&a, &p, seed);
+            assert!(line.ends_with("LA 70118"), "{line}");
+        }
+    }
+
+    #[test]
+    fn most_noisy_renderings_normalize_back_to_canonical() {
+        // Spelling variation and case mangle must be invisible after
+        // normalization; only genuine typos (4%) should survive it.
+        let a = sample(None);
+        let p = NoiseProfile::zillow_like();
+        let canon = normalize_line(&a.canonical_line());
+        let matching = (0..500)
+            .filter(|&seed| normalize_line(&render_noisy(&a, &p, seed)) == canon)
+            .count();
+        assert!(matching > 450, "only {matching}/500 normalize back");
+        assert!(matching < 500, "typos should make some differ");
+    }
+
+    #[test]
+    fn unit_is_sometimes_dropped() {
+        let a = sample(Some("2B"));
+        let p = NoiseProfile::zillow_like();
+        let with_unit = (0..200)
+            .filter(|&seed| render_noisy(&a, &p, seed).contains("2B"))
+            .count();
+        assert!(with_unit > 50 && with_unit < 150, "with_unit = {with_unit}");
+    }
+
+    #[test]
+    fn typos_keep_word_length_close() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let out = inject_typo(&mut rng, "Evergreen");
+            let diff = (out.len() as i64 - 9).abs();
+            assert!(diff <= 1, "{out}");
+        }
+    }
+
+    #[test]
+    fn short_words_are_typo_immune() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(inject_typo(&mut rng, "st"), "st");
+        assert_eq!(inject_typo(&mut rng, "a"), "a");
+        assert_eq!(inject_typo(&mut rng, ""), "");
+    }
+}

@@ -1,0 +1,205 @@
+//! Third-party audit of ISP self-reported availability (recommendation 2).
+//!
+//! Joins an ISP's Form-477-style filing against what BQT actually measured
+//! at sampled addresses and quantifies two overstatement channels:
+//!
+//! * **speed inflation** — claimed maximum download vs the median best
+//!   download actually offered to the block group's addresses;
+//! * **technology generalization** — block groups claimed as fiber where
+//!   the *typical* address only qualifies for DSL.
+//!
+//! This is the auditing workflow the paper says regulators need and that
+//! its dataset enables.
+
+use bbsim_dataset::PlanRecord;
+use bbsim_isp::form477::Form477Report;
+use bbsim_isp::{Isp, Tech};
+use bbsim_stats::median;
+use std::collections::HashMap;
+
+/// Audit result for one block group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRow {
+    pub bg_index: usize,
+    /// Technology the filing claims for this group.
+    pub claimed_tech: Tech,
+    /// Self-reported maximum download.
+    pub claimed_mbps: f64,
+    /// Median best download BQT measured across sampled addresses.
+    pub measured_mbps: f64,
+    /// claimed / measured.
+    pub inflation: f64,
+    /// Filed as fiber but the typical sampled address is not fiber-fed.
+    pub tech_overstated: bool,
+}
+
+/// City-level audit summary for one ISP.
+#[derive(Debug, Clone)]
+pub struct AuditSummary {
+    pub isp: Isp,
+    pub audited_groups: usize,
+    /// Median of claimed/measured download ratios over all audited groups.
+    pub median_inflation: f64,
+    /// Median inflation among DSL-technology filings — where the top-tier
+    /// reporting rule bites hardest.
+    pub dsl_median_inflation: Option<f64>,
+    /// Fraction of audited groups where claimed > 2x measured.
+    pub overstated_2x: f64,
+    /// Fraction of fiber-filed groups whose typical address is not fiber.
+    pub tech_overstatement: f64,
+    pub rows: Vec<AuditRow>,
+}
+
+/// Audits a filing against scraped per-address records (same city).
+///
+/// Only block groups present in both sources are audited. Returns `None`
+/// when fewer than 5 groups overlap.
+pub fn audit_form477(report: &Form477Report, records: &[PlanRecord]) -> Option<AuditSummary> {
+    // Measured per-bg: median best download + fiber share, from records.
+    let mut best_downs: HashMap<usize, Vec<f64>> = HashMap::new();
+    let mut fiber_counts: HashMap<usize, (usize, usize)> = HashMap::new();
+    for r in records.iter().filter(|r| r.isp == report.isp) {
+        let Some(best) = r
+            .plans
+            .iter()
+            .map(|p| p.download_mbps)
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a| a.max(d)))
+            })
+        else {
+            continue;
+        };
+        best_downs.entry(r.bg_index).or_default().push(best);
+        let e = fiber_counts.entry(r.bg_index).or_default();
+        e.1 += 1;
+        if r.best_plan_is_fiber() == Some(true) {
+            e.0 += 1;
+        }
+    }
+
+    let mut rows = Vec::new();
+    for claim in &report.rows {
+        let Some(downs) = best_downs.get(&claim.bg_index) else {
+            continue;
+        };
+        let measured = median(downs).expect("non-empty");
+        let inflation = claim.max_download_mbps / measured.max(1e-9);
+        let fiber_typical = fiber_counts
+            .get(&claim.bg_index)
+            .map(|&(f, n)| f * 2 >= n)
+            .unwrap_or(false);
+        rows.push(AuditRow {
+            bg_index: claim.bg_index,
+            claimed_tech: claim.technology,
+            claimed_mbps: claim.max_download_mbps,
+            measured_mbps: measured,
+            inflation,
+            tech_overstated: claim.technology == Tech::Fiber && !fiber_typical,
+        });
+    }
+    if rows.len() < 5 {
+        return None;
+    }
+
+    let inflations: Vec<f64> = rows.iter().map(|r| r.inflation).collect();
+    let dsl_inflations: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.claimed_tech == Tech::Dsl)
+        .map(|r| r.inflation)
+        .collect();
+    let overstated_2x =
+        rows.iter().filter(|r| r.inflation > 2.0).count() as f64 / rows.len() as f64;
+    let fiber_filed = report
+        .rows
+        .iter()
+        .filter(|r| r.technology == Tech::Fiber)
+        .count();
+    let tech_overstatement = if fiber_filed == 0 {
+        0.0
+    } else {
+        rows.iter().filter(|r| r.tech_overstated).count() as f64 / fiber_filed as f64
+    };
+    Some(AuditSummary {
+        isp: report.isp,
+        audited_groups: rows.len(),
+        median_inflation: median(&inflations).expect("non-empty"),
+        dsl_median_inflation: median(&dsl_inflations),
+        overstated_2x,
+        tech_overstatement,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_census::city_by_name;
+    use bbsim_dataset::{curate_city, CurationOptions};
+    use bbsim_isp::CityWorld;
+
+    fn setup() -> (Form477Report, Vec<PlanRecord>) {
+        let city = city_by_name("Billings").expect("study city");
+        let world = CityWorld::build(city);
+        let report = Form477Report::file(&world, Isp::CenturyLink);
+        let ds = curate_city(city, &CurationOptions::quick(31));
+        (report, ds.records)
+    }
+
+    #[test]
+    fn dsl_fiber_filings_inflate_speed_substantially() {
+        let (report, records) = setup();
+        let audit = audit_form477(&report, &records).expect("auditable");
+        // Fiber filings are honest (the typical address really gets the top
+        // tier); the top-tier rule bites on the DSL side.
+        let dsl = audit.dsl_median_inflation.expect("DSL groups audited");
+        assert!(dsl > 2.0, "DSL median inflation {dsl}");
+        assert!(
+            audit.overstated_2x > 0.2,
+            "2x-overstatement {}",
+            audit.overstated_2x
+        );
+        assert!(audit.audited_groups > 40);
+    }
+
+    #[test]
+    fn inflation_is_never_below_one() {
+        // The filing is a maximum over the same plan universe BQT sees, so
+        // it can understate nothing.
+        let (report, records) = setup();
+        let audit = audit_form477(&report, &records).expect("auditable");
+        for row in &audit.rows {
+            assert!(
+                row.inflation >= 0.99,
+                "bg {}: {}",
+                row.bg_index,
+                row.inflation
+            );
+        }
+    }
+
+    #[test]
+    fn cable_filings_inflate_less_than_dsl_fiber() {
+        let city = city_by_name("Billings").expect("study city");
+        let world = CityWorld::build(city);
+        let ds = curate_city(city, &CurationOptions::quick(31));
+        let dsl = audit_form477(&Form477Report::file(&world, Isp::CenturyLink), &ds.records)
+            .expect("auditable");
+        let cable = audit_form477(&Form477Report::file(&world, Isp::Spectrum), &ds.records)
+            .expect("auditable");
+        // Cable offers are uniform within a block group; DSL ladders are not.
+        let dsl_inflation = dsl.dsl_median_inflation.expect("DSL groups audited");
+        assert!(
+            cable.median_inflation < dsl_inflation,
+            "cable {} vs dsl {}",
+            cable.median_inflation,
+            dsl_inflation
+        );
+    }
+
+    #[test]
+    fn too_little_overlap_is_none() {
+        let (report, records) = setup();
+        let few: Vec<PlanRecord> = records.into_iter().take(2).collect();
+        assert!(audit_form477(&report, &few).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! §5.4 — the impact of competition on cable carriage values.
+//!
+//! Every block group a cable ISP serves is classified, from scraped data
+//! alone, as a cable monopoly, cable–DSL duopoly or cable–fiber duopoly:
+//! the rival is the city's DSL/fiber ISP, its presence is "it returned
+//! plans in this block group", and its technology is read off the plans'
+//! shape (fiber-grade upload speeds). The paper's two one-tailed
+//! Kolmogorov–Smirnov tests then ask whether the cable ISP's carriage
+//! values differ between modes.
+
+use bbsim_dataset::BlockGroupRow;
+use bbsim_isp::Isp;
+use bbsim_stats::{ks_one_tailed, median, KsOutcome, Tail};
+use std::collections::HashMap;
+
+/// Operational mode of a cable ISP in one block group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompetitionMode {
+    CableMonopoly,
+    CableDslDuopoly,
+    CableFiberDuopoly,
+}
+
+/// Carriage values above this are ACP-subsidized artifacts; the paper
+/// prunes this long tail in Fig. 8 before testing.
+pub const ACP_PRUNE_CV: f64 = 29.0;
+
+/// Classifies each of the cable ISP's block groups by competition mode.
+///
+/// Returns `(bg_index, mode, cable median cv)` per served block group.
+pub fn classify_modes(
+    rows: &[BlockGroupRow],
+    cable: Isp,
+    rival: Option<Isp>,
+) -> Vec<(usize, CompetitionMode, f64)> {
+    assert!(cable.is_cable(), "classification is for cable ISPs");
+    // Rival technology per block group, from observable plan shape.
+    let mut rival_fiber: HashMap<usize, bool> = HashMap::new();
+    if let Some(rv) = rival {
+        for r in rows.iter().filter(|r| r.isp == rv) {
+            rival_fiber.insert(r.bg_index, r.fiber_share >= 0.5);
+        }
+    }
+    rows.iter()
+        .filter(|r| r.isp == cable)
+        .map(|r| {
+            let mode = match rival_fiber.get(&r.bg_index) {
+                None => CompetitionMode::CableMonopoly,
+                Some(false) => CompetitionMode::CableDslDuopoly,
+                Some(true) => CompetitionMode::CableFiberDuopoly,
+            };
+            (r.bg_index, mode, r.median_cv)
+        })
+        .collect()
+}
+
+/// One mode's sample and the two one-tailed KS tests against the monopoly
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct ModeComparison {
+    pub mode: CompetitionMode,
+    pub n: usize,
+    pub median_cv: f64,
+    /// H1: duopoly cv stochastically greater than monopoly cv.
+    pub h1_duopoly_greater: KsOutcome,
+    /// H2: monopoly cv stochastically greater than duopoly cv.
+    pub h2_monopoly_greater: KsOutcome,
+}
+
+/// The §5.4 analysis result for one (city, cable ISP).
+#[derive(Debug, Clone)]
+pub struct CompetitionReport {
+    pub cable: Isp,
+    pub n_monopoly: usize,
+    pub monopoly_median_cv: f64,
+    /// Comparisons for the duopoly modes present in the city.
+    pub comparisons: Vec<ModeComparison>,
+}
+
+/// Runs the paper's §5.4 hypothesis tests for one city's cable ISP.
+///
+/// ACP-tail carriage values are pruned (the paper does the same for
+/// Fig. 8). Returns `None` when there is no monopoly baseline or no
+/// duopoly sample to compare.
+pub fn test_competition(
+    rows: &[BlockGroupRow],
+    cable: Isp,
+    rival: Option<Isp>,
+) -> Option<CompetitionReport> {
+    let classified = classify_modes(rows, cable, rival);
+    let sample = |mode: CompetitionMode| -> Vec<f64> {
+        classified
+            .iter()
+            .filter(|&&(_, m, cv)| m == mode && cv <= ACP_PRUNE_CV)
+            .map(|&(_, _, cv)| cv)
+            .collect()
+    };
+
+    let monopoly = sample(CompetitionMode::CableMonopoly);
+    if monopoly.len() < 5 {
+        return None;
+    }
+
+    let mut comparisons = Vec::new();
+    for mode in [
+        CompetitionMode::CableDslDuopoly,
+        CompetitionMode::CableFiberDuopoly,
+    ] {
+        let duopoly = sample(mode);
+        if duopoly.len() < 5 {
+            continue;
+        }
+        comparisons.push(ModeComparison {
+            mode,
+            n: duopoly.len(),
+            median_cv: median(&duopoly).expect("non-empty"),
+            h1_duopoly_greater: ks_one_tailed(&monopoly, &duopoly, Tail::Greater),
+            h2_monopoly_greater: ks_one_tailed(&monopoly, &duopoly, Tail::Less),
+        });
+    }
+    if comparisons.is_empty() {
+        return None;
+    }
+    Some(CompetitionReport {
+        cable,
+        n_monopoly: monopoly.len(),
+        monopoly_median_cv: median(&monopoly).expect("non-empty"),
+        comparisons,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_geo::BlockGroupId;
+
+    fn row(isp: Isp, bg: usize, cv: f64, fiber_share: f64) -> BlockGroupRow {
+        BlockGroupRow {
+            city: "X".to_string(),
+            isp,
+            block_group: BlockGroupId::new(22, 71, 1, 1),
+            bg_index: bg,
+            median_cv: cv,
+            cov: Some(0.0),
+            n_addresses: 30,
+            fiber_share,
+        }
+    }
+
+    /// A synthetic city reproducing the paper's structure: monopoly and
+    /// DSL-duopoly groups at cv ~11.4, fiber-duopoly groups at ~14.6.
+    fn synthetic_rows() -> Vec<BlockGroupRow> {
+        let mut rows = Vec::new();
+        for bg in 0..40 {
+            rows.push(row(Isp::Cox, bg, 11.3 + (bg % 5) as f64 * 0.05, 0.0));
+        }
+        for bg in 40..80 {
+            rows.push(row(Isp::Cox, bg, 11.3 + (bg % 5) as f64 * 0.05, 0.0));
+            rows.push(row(Isp::Att, bg, 0.4, 0.0)); // DSL rival
+        }
+        for bg in 80..120 {
+            rows.push(row(Isp::Cox, bg, 14.5 + (bg % 5) as f64 * 0.05, 0.0));
+            rows.push(row(Isp::Att, bg, 12.5, 0.9)); // fiber rival
+        }
+        rows
+    }
+
+    #[test]
+    fn modes_are_classified_from_rival_presence_and_tech() {
+        let rows = synthetic_rows();
+        let modes = classify_modes(&rows, Isp::Cox, Some(Isp::Att));
+        assert_eq!(modes.len(), 120);
+        let count = |m: CompetitionMode| modes.iter().filter(|&&(_, x, _)| x == m).count();
+        assert_eq!(count(CompetitionMode::CableMonopoly), 40);
+        assert_eq!(count(CompetitionMode::CableDslDuopoly), 40);
+        assert_eq!(count(CompetitionMode::CableFiberDuopoly), 40);
+    }
+
+    #[test]
+    fn fiber_duopoly_rejects_h0_in_favor_of_h1() {
+        let rows = synthetic_rows();
+        let report = test_competition(&rows, Isp::Cox, Some(Isp::Att)).unwrap();
+        let fiber = report
+            .comparisons
+            .iter()
+            .find(|c| c.mode == CompetitionMode::CableFiberDuopoly)
+            .unwrap();
+        assert!(
+            fiber.h1_duopoly_greater.rejects_at(0.05),
+            "H1 p = {}",
+            fiber.h1_duopoly_greater.p_value
+        );
+        assert!(!fiber.h2_monopoly_greater.rejects_at(0.05));
+        assert!(
+            fiber.h1_duopoly_greater.statistic > 0.5,
+            "D = {}",
+            fiber.h1_duopoly_greater.statistic
+        );
+        // ~30% median improvement.
+        let boost = fiber.median_cv / report.monopoly_median_cv;
+        assert!((1.2..1.4).contains(&boost), "boost {boost}");
+    }
+
+    #[test]
+    fn dsl_duopoly_fails_to_reject_h0() {
+        let rows = synthetic_rows();
+        let report = test_competition(&rows, Isp::Cox, Some(Isp::Att)).unwrap();
+        let dsl = report
+            .comparisons
+            .iter()
+            .find(|c| c.mode == CompetitionMode::CableDslDuopoly)
+            .unwrap();
+        assert!(
+            !dsl.h1_duopoly_greater.rejects_at(0.05),
+            "p = {}",
+            dsl.h1_duopoly_greater.p_value
+        );
+        assert!(!dsl.h2_monopoly_greater.rejects_at(0.05));
+    }
+
+    #[test]
+    fn acp_tail_is_pruned() {
+        let mut rows = synthetic_rows();
+        // Add a few subsidized outliers to the monopoly set.
+        for bg in 200..205 {
+            rows.push(row(Isp::Cox, bg, 50.0, 0.0));
+        }
+        let report = test_competition(&rows, Isp::Cox, Some(Isp::Att)).unwrap();
+        assert_eq!(
+            report.n_monopoly, 40,
+            "outliers above {ACP_PRUNE_CV} excluded"
+        );
+    }
+
+    #[test]
+    fn no_rival_means_all_monopoly_and_no_report() {
+        let rows: Vec<BlockGroupRow> = (0..30).map(|bg| row(Isp::Cox, bg, 11.0, 0.0)).collect();
+        let modes = classify_modes(&rows, Isp::Cox, None);
+        assert!(modes
+            .iter()
+            .all(|&(_, m, _)| m == CompetitionMode::CableMonopoly));
+        assert!(test_competition(&rows, Isp::Cox, None).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cable")]
+    fn classifying_a_dsl_isp_panics() {
+        classify_modes(&[], Isp::Att, None);
+    }
+}

@@ -1,0 +1,113 @@
+//! §5.2 — inter-city broadband plans.
+//!
+//! An ISP's offerings in a city are summarized as the distribution of
+//! block-group carriage values. Cities are compared by the L1 norm between
+//! their 30-dimensional plan vectors (Fig. 6); individual city
+//! distributions are Fig. 5's series.
+
+use bbsim_dataset::BlockGroupRow;
+use bbsim_isp::Isp;
+use bbsim_stats::{l1_distance, Histogram, PlanVector};
+
+/// Block-group median carriage values of one ISP in one city's rows.
+pub fn carriage_values(rows: &[BlockGroupRow], isp: Isp) -> Vec<f64> {
+    rows.iter()
+        .filter(|r| r.isp == isp)
+        .map(|r| r.median_cv)
+        .collect()
+}
+
+/// The paper's plans vector for one (ISP, city): block-group-weighted,
+/// ceil-discretized carriage values. `None` when the ISP has no rows here.
+pub fn plan_vector_for(rows: &[BlockGroupRow], isp: Isp) -> Option<PlanVector> {
+    PlanVector::from_carriage_values(&carriage_values(rows, isp))
+}
+
+/// Normalized histogram of block-group carriage values (a Fig. 5 series).
+pub fn cv_histogram(rows: &[BlockGroupRow], isp: Isp, bins: usize) -> Option<Histogram> {
+    let cvs = carriage_values(rows, isp);
+    if cvs.is_empty() {
+        return None;
+    }
+    let mut h = Histogram::new(0.0, 30.0, bins);
+    h.extend(&cvs);
+    Some(h)
+}
+
+/// All pairwise L1 distances between cities' plan vectors for one ISP
+/// (the per-ISP series of Fig. 6). Input: `(city name, vector)` per city.
+pub fn l1_pairs(per_city: &[(String, PlanVector)]) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for i in 0..per_city.len() {
+        for j in (i + 1)..per_city.len() {
+            out.push((
+                per_city[i].0.clone(),
+                per_city[j].0.clone(),
+                l1_distance(&per_city[i].1, &per_city[j].1),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_geo::BlockGroupId;
+
+    fn row(isp: Isp, bg: usize, cv: f64) -> BlockGroupRow {
+        BlockGroupRow {
+            city: "X".to_string(),
+            isp,
+            block_group: BlockGroupId::new(22, 71, (bg / 4 + 1) as u32, (bg % 4 + 1) as u8),
+            bg_index: bg,
+            median_cv: cv,
+            cov: Some(0.0),
+            n_addresses: 30,
+            fiber_share: 0.0,
+        }
+    }
+
+    #[test]
+    fn carriage_values_filter_by_isp() {
+        let rows = vec![
+            row(Isp::Cox, 0, 11.0),
+            row(Isp::Att, 1, 5.0),
+            row(Isp::Cox, 2, 14.0),
+        ];
+        assert_eq!(carriage_values(&rows, Isp::Cox), vec![11.0, 14.0]);
+        assert_eq!(carriage_values(&rows, Isp::Verizon), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn plan_vector_none_for_absent_isp() {
+        let rows = vec![row(Isp::Cox, 0, 11.0)];
+        assert!(plan_vector_for(&rows, Isp::Att).is_none());
+        assert!(plan_vector_for(&rows, Isp::Cox).is_some());
+    }
+
+    #[test]
+    fn l1_pairs_count_is_n_choose_2() {
+        let mk = |cvs: &[f64]| PlanVector::from_carriage_values(cvs).unwrap();
+        let per_city = vec![
+            ("A".to_string(), mk(&[10.0, 11.0])),
+            ("B".to_string(), mk(&[10.0, 11.0])),
+            ("C".to_string(), mk(&[28.0])),
+        ];
+        let pairs = l1_pairs(&per_city);
+        assert_eq!(pairs.len(), 3);
+        let ab = pairs.iter().find(|(a, b, _)| a == "A" && b == "B").unwrap();
+        assert_eq!(ab.2, 0.0);
+        let ac = pairs.iter().find(|(a, b, _)| a == "A" && b == "C").unwrap();
+        assert_eq!(ac.2, 2.0);
+    }
+
+    #[test]
+    fn histogram_mass_equals_row_count() {
+        let rows: Vec<BlockGroupRow> = (0..50)
+            .map(|i| row(Isp::Cox, i, 10.0 + (i % 5) as f64))
+            .collect();
+        let h = cv_histogram(&rows, Isp::Cox, 30).unwrap();
+        assert_eq!(h.total(), 50);
+    }
+}

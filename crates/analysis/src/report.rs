@@ -1,0 +1,112 @@
+//! Plain-text table rendering for the repro harness.
+
+/// A simple aligned-column text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with column alignment and a separator under the headers.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(cell);
+                if i + 1 < ncols {
+                    out.push_str(&" ".repeat(widths[i] - cell.len() + 2));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats an optional float with fixed decimals, `-` when absent.
+pub fn opt_f64(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["ISP", "hit rate"]);
+        t.row(vec!["Cox", "0.96"]);
+        t.row(vec!["CenturyLink", "0.88"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset on every line.
+        let off = lines[0].find("hit rate").unwrap();
+        assert_eq!(lines[2].find("0.96").unwrap(), off);
+        assert_eq!(lines[3].find("0.88").unwrap(), off);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn opt_f64_formats_and_dashes() {
+        assert_eq!(opt_f64(Some(3.14159), 2), "3.14");
+        assert_eq!(opt_f64(None, 2), "-");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! The BAT's internal address database and lookup index.
+//!
+//! The ISP side of the address-matching problem: a canonical address table
+//! indexed by normalized text, with candidate generation for the suggestion
+//! list shown on the "address not found" page. Lookup keys are normalized
+//! the same way a serviceability back-end would (case, punctuation and
+//! USPS abbreviation folding), so cosmetic listing noise resolves here and
+//! only genuine typos fall through to the suggestion flow.
+
+use bbsim_address::abbrev::{extract_zip, normalize_line};
+use bbsim_address::{AddressDb, AddressId};
+use std::collections::HashMap;
+
+/// Normalized-lookup index over a city's canonical addresses.
+#[derive(Debug)]
+pub struct AddressIndex {
+    /// normalized street line + zip -> address id.
+    exact: HashMap<String, AddressId>,
+    /// (zip, house number) -> candidate ids for suggestions.
+    by_zip_number: HashMap<(u32, u32), Vec<AddressId>>,
+}
+
+impl AddressIndex {
+    /// Builds the index from the canonical side of an address inventory.
+    pub fn build(db: &AddressDb) -> Self {
+        let mut exact = HashMap::with_capacity(db.len());
+        let mut by_zip_number: HashMap<(u32, u32), Vec<AddressId>> = HashMap::new();
+        for r in db.records() {
+            exact.insert(Self::key_of(&r.canonical.canonical_line()), r.id);
+            by_zip_number
+                .entry((r.canonical.zip, r.canonical.number))
+                .or_default()
+                .push(r.id);
+        }
+        Self {
+            exact,
+            by_zip_number,
+        }
+    }
+
+    fn key_of(line: &str) -> String {
+        normalize_line(line)
+    }
+
+    /// Exact lookup after normalization.
+    pub fn lookup(&self, line: &str) -> Option<AddressId> {
+        self.exact.get(&Self::key_of(line)).copied()
+    }
+
+    /// Looks up a line that may carry a unit designator the canonical table
+    /// does not store: tries the full line, then the line with the unit
+    /// stripped.
+    pub fn lookup_allowing_unit(&self, line: &str) -> Option<AddressId> {
+        if let Some(id) = self.lookup(line) {
+            return Some(id);
+        }
+        // Strip a trailing "apt <x>" from the normalized form.
+        let norm = Self::key_of(line);
+        if let Some(pos) = norm.find(" apt ") {
+            let stripped = &norm[..pos];
+            // Re-append the tail after the unit token (city/state/zip).
+            let after_unit: Vec<&str> = norm[pos + 5..].splitn(2, ' ').collect();
+            let rebuilt = if after_unit.len() == 2 {
+                format!("{stripped} {}", after_unit[1])
+            } else {
+                stripped.to_string()
+            };
+            return self.exact.get(&rebuilt).copied();
+        }
+        None
+    }
+
+    /// Candidate ids for the suggestion list: same zip and house number.
+    /// Falls back to the parsed zip/number of the input line.
+    pub fn suggestion_candidates(&self, line: &str) -> Vec<AddressId> {
+        let Some(zip) = extract_zip(line) else {
+            return Vec::new();
+        };
+        let Some(number) = line
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse::<u32>().ok())
+        else {
+            return Vec::new();
+        };
+        self.by_zip_number
+            .get(&(zip, number))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_address::NoiseProfile;
+    use bbsim_census::city_by_name;
+
+    fn db() -> AddressDb {
+        let city = city_by_name("Billings").unwrap();
+        AddressDb::generate(city, &city.grid(), &NoiseProfile::zillow_like())
+    }
+
+    #[test]
+    fn exact_lookup_finds_every_canonical_address() {
+        let d = db();
+        let idx = AddressIndex::build(&d);
+        for r in d.records().iter().take(500) {
+            assert_eq!(idx.lookup(&r.canonical.canonical_line()), Some(r.id));
+        }
+    }
+
+    #[test]
+    fn lookup_survives_cosmetic_noise() {
+        // Most listing lines differ only in case/abbreviation and must
+        // resolve without the suggestion flow.
+        let d = db();
+        let idx = AddressIndex::build(&d);
+        let resolved = d
+            .records()
+            .iter()
+            .take(1000)
+            .filter(|r| idx.lookup(&r.listing_line) == Some(r.id))
+            .count();
+        assert!(resolved > 900, "only {resolved}/1000 listings resolved");
+    }
+
+    #[test]
+    fn lookup_with_spurious_unit_falls_back_to_building() {
+        let d = db();
+        let idx = AddressIndex::build(&d);
+        let r = &d.records()[0];
+        let mut with_unit = r.canonical.clone();
+        with_unit.unit = Some("3".to_string());
+        assert_eq!(
+            idx.lookup_allowing_unit(&with_unit.canonical_line()),
+            Some(r.id)
+        );
+    }
+
+    #[test]
+    fn suggestion_candidates_share_zip_and_number() {
+        let d = db();
+        let idx = AddressIndex::build(&d);
+        // Typo the street name; zip and number survive.
+        let r = &d.records()[42];
+        let mut line = r.canonical.canonical_line();
+        line = line.replace(&r.canonical.street_name, "Zzyzx");
+        let candidates = idx.suggestion_candidates(&line);
+        assert!(
+            candidates.contains(&r.id),
+            "true address must be a candidate"
+        );
+        for id in candidates {
+            let c = &d.record(id).canonical;
+            assert_eq!(c.zip, r.canonical.zip);
+            assert_eq!(c.number, r.canonical.number);
+        }
+    }
+
+    #[test]
+    fn unparseable_input_yields_no_candidates() {
+        let d = db();
+        let idx = AddressIndex::build(&d);
+        assert!(idx
+            .suggestion_candidates("not an address at all")
+            .is_empty());
+        assert!(idx.suggestion_candidates("").is_empty());
+    }
+
+    #[test]
+    fn index_size_matches_db() {
+        let d = db();
+        let idx = AddressIndex::build(&d);
+        // A few canonical collisions are tolerable (identical re-generated
+        // street+number), but the index must hold nearly all records.
+        assert!(idx.len() as f64 > d.len() as f64 * 0.95);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-ISP server behaviour profiles.
+//!
+//! The knobs below are the *generative* side of the paper's Fig. 2
+//! microbenchmarks. They are calibrated so that BQT's measured hit rate and
+//! query-time distributions land in the reported bands — the measurements
+//! themselves are produced by running the pipeline, not by these constants.
+//!
+//! Paper targets: hit rate above 80% for every ISP, best for Cox (96%),
+//! worst for Spectrum (82%); median query time lowest for Frontier (27 s)
+//! and highest for Spectrum (100 s).
+
+use bbsim_isp::Isp;
+use bbsim_net::{LatencyModel, SimDuration};
+
+/// Behavioural profile of one ISP's BAT deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerProfile {
+    /// Per-page-render latency (each workflow step pays one draw).
+    pub step_latency: LatencyModel,
+    /// One-way network latency between client and this BAT.
+    pub network_latency: LatencyModel,
+    /// Fraction of addresses this BAT permanently cannot process (broken
+    /// back-end lookups, unparseable records). Keyed per address, so
+    /// retries do not help — the dominant hit-rate loss.
+    pub hard_failure_rate: f64,
+    /// Per-request transient failure probability (HTTP 500); retries help.
+    pub transient_failure_rate: f64,
+    /// Fraction of addresses whose residents already subscribe, triggering
+    /// the existing-customer interstitial.
+    pub existing_customer_rate: f64,
+    /// Fraction of addresses missing from the ISP's own address database
+    /// (returns not-found with unhelpful suggestions).
+    pub unknown_address_rate: f64,
+    /// Requests allowed per session cookie before the BAT blocks it.
+    pub cookie_budget: u32,
+    /// Requests allowed per source IP within [`Self::rate_window`].
+    pub rate_limit: u32,
+    /// Sliding-window length for the per-IP rate limit.
+    pub rate_window: SimDuration,
+}
+
+impl ServerProfile {
+    /// The calibrated profile for `isp`.
+    pub fn for_isp(isp: Isp) -> Self {
+        // (median step seconds, sigma, hard failure, unknown rate)
+        let (step_s, sigma, hard, unknown) = match isp {
+            Isp::Att => (13.0, 0.35, 0.045, 0.015),
+            Isp::Verizon => (15.0, 0.35, 0.065, 0.020),
+            Isp::CenturyLink => (18.0, 0.40, 0.085, 0.020),
+            Isp::Frontier => (11.0, 0.30, 0.115, 0.025),
+            Isp::Spectrum => (43.0, 0.45, 0.145, 0.025),
+            Isp::Cox => (12.0, 0.35, 0.015, 0.010),
+            Isp::Xfinity => (14.0, 0.35, 0.075, 0.020),
+        };
+        ServerProfile {
+            step_latency: LatencyModel::new(SimDuration::from_secs_f64(step_s), sigma),
+            network_latency: LatencyModel::new(SimDuration::from_millis(80), 0.3),
+            hard_failure_rate: hard,
+            transient_failure_rate: 0.02,
+            existing_customer_rate: 0.15,
+            unknown_address_rate: unknown,
+            cookie_budget: 8,
+            rate_limit: 30,
+            rate_window: SimDuration::from_secs(60),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_isp::ALL_ISPS;
+
+    #[test]
+    fn every_isp_has_a_profile() {
+        for isp in ALL_ISPS {
+            let p = ServerProfile::for_isp(isp);
+            assert!(p.hard_failure_rate < 0.2);
+            assert!(p.transient_failure_rate < 0.1);
+            assert!(p.cookie_budget >= 4, "workflows need a few requests");
+        }
+    }
+
+    #[test]
+    fn cox_is_most_reliable_spectrum_least() {
+        // Fig 2a ordering: Cox best (96%), Spectrum worst (82%).
+        let loss = |i: Isp| {
+            let p = ServerProfile::for_isp(i);
+            p.hard_failure_rate + p.unknown_address_rate
+        };
+        for isp in ALL_ISPS {
+            if isp != Isp::Cox {
+                assert!(loss(Isp::Cox) < loss(isp), "{isp}");
+            }
+            if isp != Isp::Spectrum {
+                assert!(loss(Isp::Spectrum) > loss(isp), "{isp}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_fastest_spectrum_slowest() {
+        // Fig 2b ordering: Frontier median 27 s, Spectrum 100 s.
+        let med = |i: Isp| ServerProfile::for_isp(i).step_latency.median().as_millis();
+        for isp in ALL_ISPS {
+            if isp != Isp::Frontier {
+                assert!(med(Isp::Frontier) < med(isp), "{isp}");
+            }
+            if isp != Isp::Spectrum {
+                assert!(med(Isp::Spectrum) > med(isp), "{isp}");
+            }
+        }
+    }
+
+    #[test]
+    fn implied_hit_rates_are_above_80_percent() {
+        // Hard failures + unknown addresses + a soft-loss allowance must
+        // leave every ISP above the paper's 80% floor.
+        for isp in ALL_ISPS {
+            let p = ServerProfile::for_isp(isp);
+            let implied = 1.0 - p.hard_failure_rate - p.unknown_address_rate - 0.02;
+            assert!(implied > 0.80, "{isp}: implied hit rate {implied}");
+        }
+    }
+}

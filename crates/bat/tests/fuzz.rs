@@ -1,0 +1,95 @@
+//! Robustness fuzzing: the BAT server must never panic, whatever a client
+//! throws at it — arbitrary paths, bodies, cookies and request orderings.
+
+use bbsim_bat::BatServer;
+use bbsim_census::city_by_name;
+use bbsim_isp::{CityWorld, Isp};
+use bbsim_net::{Method, Request, Service, SimIp, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+fn world() -> Arc<CityWorld> {
+    static WORLD: OnceLock<Arc<CityWorld>> = OnceLock::new();
+    WORLD
+        .get_or_init(|| Arc::new(CityWorld::build(city_by_name("Fargo").expect("study city"))))
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random single requests never panic and always produce a response.
+    #[test]
+    fn arbitrary_requests_never_panic(
+        post in any::<bool>(),
+        path in "[ -~]{0,40}",
+        body in "[ -~\\n]{0,200}",
+        cookie in proptest::option::of("[ -~]{0,40}"),
+        now_ms in 0u64..10_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut server = BatServer::new(Isp::CenturyLink, world());
+        let mut req = if post {
+            Request::post(path, body)
+        } else {
+            Request::new(Method::Get, path)
+        };
+        if let Some(c) = cookie {
+            req = req.with_cookie(c);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exchange = server.handle(
+            SimIp(0x6440_0001),
+            &req,
+            SimTime::from_millis(now_ms),
+            &mut rng,
+        );
+        // Whatever happened, the reply is a well-formed wire message.
+        let wire = exchange.response.to_wire();
+        prop_assert!(bbsim_net::Response::from_wire(&wire).is_ok());
+    }
+
+    /// Random request *sequences* against one server instance keep its
+    /// internal state consistent (sessions never corrupt, counters only
+    /// grow).
+    #[test]
+    fn arbitrary_sequences_keep_state_consistent(
+        steps in proptest::collection::vec(
+            ("[ -~]{0,60}", any::<bool>(), 0u64..4),
+            1..25
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut server = BatServer::new(Isp::CenturyLink, world());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = SimTime::ZERO;
+        let mut last_cookie: Option<String> = None;
+        let mut prev_blocked = 0;
+        for (text, use_select, ip_off) in steps {
+            let req = if use_select {
+                let r = Request::post("/select", format!("choice={text}"));
+                match &last_cookie {
+                    Some(c) => r.with_cookie(c.clone()),
+                    None => r,
+                }
+            } else {
+                Request::post("/locate", format!("address={text}"))
+            };
+            let out = server.handle(
+                SimIp(0x6440_0000 + ip_off as u32),
+                &req,
+                now,
+                &mut rng,
+            );
+            if let Some(c) = out.response.set_cookie() {
+                last_cookie = Some(c.to_string());
+            }
+            now = now + bbsim_net::SimDuration::from_secs(7);
+            prop_assert!(server.blocked_requests >= prev_blocked);
+            prev_blocked = server.blocked_requests;
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end BQT query-path benchmark: one address through the full
+//! workflow (wire serialization, server state machine, template detection,
+//! plan parsing) against a live simulated BAT.
+
+use bbsim_bat::{templates, BatServer};
+use bbsim_census::city_by_name;
+use bbsim_isp::{CityWorld, Isp};
+use bbsim_net::{Endpoint, SimDuration, SimIp, SimTime, Transport};
+use bqt::{query_address, BqtConfig, QueryJob};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_query(c: &mut Criterion) {
+    let world = Arc::new(CityWorld::build(
+        city_by_name("Billings").expect("study city"),
+    ));
+    let isp = Isp::CenturyLink;
+    let mut transport = Transport::new(1);
+    let server = BatServer::new(isp, world.clone());
+    let net = server.profile().network_latency;
+    transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
+    let config = BqtConfig::paper_default(SimDuration::from_secs(45));
+    let src = SimIp(u32::from_be_bytes([100, 64, 0, 1]));
+    let lines: Vec<String> = world
+        .addresses()
+        .records()
+        .iter()
+        .take(512)
+        .map(|r| r.listing_line.clone())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut i = 0usize;
+    // Spread virtual arrival times so the per-IP rate limiter never engages
+    // inside the benchmark loop.
+    let mut now = SimTime::ZERO;
+
+    c.bench_function("bqt/query_address/end-to-end", |b| {
+        b.iter(|| {
+            let job = QueryJob {
+                endpoint: isp.slug().to_string(),
+                dialect: templates::dialect_of(isp),
+                input_line: lines[i % lines.len()].clone(),
+                tag: i as u64,
+            };
+            i += 1;
+            now += SimDuration::from_secs(10);
+            black_box(query_address(
+                &mut transport,
+                &config,
+                &job,
+                src,
+                now,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Wire-path benchmarks: framing codec and HTTP-lite round-trips.
+//!
+//! Every simulated exchange pays this path twice (request and response), so
+//! at full study scale (~1M queries x ~2 steps) it dominates CPU time.
+
+use bbsim_net::{FrameCodec, Request, Response};
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_frame_roundtrip(c: &mut Criterion) {
+    let payload = vec![0x42u8; 4096];
+    c.bench_function("frame/encode+decode/4KiB", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            FrameCodec.encode(black_box(&payload), &mut buf);
+            FrameCodec.decode(&mut buf).unwrap().unwrap()
+        })
+    });
+}
+
+fn bench_http_roundtrip(c: &mut Criterion) {
+    let req = Request::post(
+        "/locate",
+        "address=742 Evergreen Ter, New Orleans, LA 70118",
+    )
+    .with_cookie("sid=deadbeefdeadbeef");
+    c.bench_function("http/request/to_wire+from_wire", |b| {
+        b.iter(|| Request::from_wire(&black_box(&req).to_wire()).unwrap())
+    });
+
+    let body: String = (0..12)
+        .map(|i| {
+            format!(
+                "  <div class=\"plan\" data-down=\"{}\" data-up=\"{}\" data-price=\"{}\">x</div>\n",
+                100 * i,
+                10 * i,
+                20 + i
+            )
+        })
+        .collect();
+    let resp = Response::ok(format!("<html>{body}</html>")).with_set_cookie("sid=1");
+    c.bench_function("http/response-with-12-plans/to_wire+from_wire", |b| {
+        b.iter(|| Response::from_wire(&black_box(&resp).to_wire()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_frame_roundtrip, bench_http_roundtrip);
+criterion_main!(benches);

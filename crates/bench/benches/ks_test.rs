@@ -1,0 +1,27 @@
+//! Kolmogorov–Smirnov benchmarks (§5.4 runs two one-tailed tests per
+//! city × duopoly mode).
+
+use bbsim_stats::{ks_one_tailed, ks_two_sample, Tail};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn samples(n: usize, shift: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| shift + ((i as u64).wrapping_mul(40503) % 1000) as f64 / 100.0)
+        .collect()
+}
+
+fn bench_ks(c: &mut Criterion) {
+    for n in [100usize, 1000, 10_000] {
+        let a = samples(n, 0.0);
+        let b = samples(n, 3.0);
+        c.bench_function(&format!("ks_two_sample/{n}"), |bench| {
+            bench.iter(|| ks_two_sample(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("ks_one_tailed/{n}"), |bench| {
+            bench.iter(|| ks_one_tailed(black_box(&a), black_box(&b), Tail::Greater))
+        });
+    }
+}
+
+criterion_group!(benches, bench_ks);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Suggestion-matcher micro-benchmarks (ablation support).
+//!
+//! BQT scores every suggestion the BAT offers against the input address;
+//! with ~840k addresses and up to 5 suggestions each, matcher throughput
+//! bounds the offline analysis pass.
+
+use bbsim_address::matching::{
+    best_match, jaro_winkler, levenshtein, token_sort_similarity, Measure,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn suggestion_list() -> Vec<String> {
+    vec![
+        "740 Evergreen Ter, New Orleans, LA 70118".to_string(),
+        "742 Evergreen Ter, New Orleans, LA 70118".to_string(),
+        "742 Everett St, New Orleans, LA 70118".to_string(),
+        "742 Evergreen Ter Apt 2, New Orleans, LA 70118".to_string(),
+        "1742 N Evergreen Cir, New Orleans, LA 70119".to_string(),
+    ]
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let a = "742 Evergreen Terrace, New Orleans, LA 70118";
+    let b = "742 Evergreen Ter, New Orleans, LA 70118";
+    c.bench_function("levenshtein/44-chars", |bench| {
+        bench.iter(|| levenshtein(black_box(a), black_box(b)))
+    });
+    c.bench_function("jaro_winkler/44-chars", |bench| {
+        bench.iter(|| jaro_winkler(black_box(a), black_box(b)))
+    });
+    c.bench_function("token_sort/44-chars", |bench| {
+        bench.iter(|| token_sort_similarity(black_box(a), black_box(b)))
+    });
+}
+
+fn bench_best_match(c: &mut Criterion) {
+    let input = "742 Evergreen Terrace, New Orleans, LA 70118";
+    let suggestions = suggestion_list();
+    for (name, measure) in [
+        ("levenshtein", Measure::Levenshtein),
+        ("jaro_winkler", Measure::JaroWinkler),
+        ("token_sort", Measure::TokenSort),
+    ] {
+        c.bench_function(&format!("best_match/{name}/5-suggestions"), |bench| {
+            bench.iter(|| best_match(measure, black_box(input), black_box(&suggestions), 0.8))
+        });
+    }
+}
+
+criterion_group!(benches, bench_primitives, bench_best_match);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Moran's I benchmarks (Table 3 is ~70 of these per study run).
+//!
+//! Compares the analytic-inference path with the permutation test the
+//! ablation index calls out: permutation is assumption-free but ~1000x the
+//! work.
+
+use bbsim_census::city_by_name;
+use bbsim_geo::{Adjacency, Contiguity, SpatialWeights};
+use bbsim_stats::{morans_i, morans_i_permutation};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// The New Orleans grid (439 block groups) with a clustered synthetic field.
+fn nola_field() -> (Vec<f64>, Vec<Vec<(usize, f64)>>) {
+    let grid = city_by_name("New Orleans").expect("study city").grid();
+    let values: Vec<f64> = (0..grid.len())
+        .map(|i| {
+            let (x, y) = grid.coord(i);
+            (x + y) as f64 + ((i as u64).wrapping_mul(2654435761) % 7) as f64
+        })
+        .collect();
+    let w = SpatialWeights::row_standardized(&Adjacency::from_grid(&grid, Contiguity::Rook));
+    (values, w.rows().to_vec())
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let (values, weights) = nola_field();
+    c.bench_function("morans_i/analytic/439-cells", |b| {
+        b.iter(|| morans_i(black_box(&values), black_box(&weights)))
+    });
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let (values, weights) = nola_field();
+    c.bench_function("morans_i/permutation-99/439-cells", |b| {
+        b.iter(|| morans_i_permutation(black_box(&values), black_box(&weights), 99, 7))
+    });
+}
+
+criterion_group!(benches, bench_analytic, bench_permutation);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Whole-pipeline benchmark: curate a full small city (world build, BAT
+//! fleet, sampling, orchestration, aggregation). This is the unit of work
+//! the 30-city study parallelizes over.
+
+use bbsim_census::city_by_name;
+use bbsim_dataset::{aggregate_block_groups, curate_city, CurationOptions};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_curate(c: &mut Criterion) {
+    let city = city_by_name("Fargo").expect("smallest study city");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("curate_city/fargo/quick", |b| {
+        b.iter(|| black_box(curate_city(city, &CurationOptions::quick(1))))
+    });
+    let ds = curate_city(city, &CurationOptions::quick(1));
+    group.bench_function("aggregate_block_groups/fargo", |b| {
+        b.iter(|| black_box(aggregate_block_groups(&ds.records)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curate);
+criterion_main!(benches);

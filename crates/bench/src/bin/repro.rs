@@ -1,0 +1,166 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale quick|mid|paper] [--cities "A,B,..."] [--seed N]
+//!       [--threads N] [--out FILE] <experiment>
+//!
+//! experiments:
+//!   all        every table, figure, and ablation
+//!   table1 table2 table3
+//!   fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b
+//!   scaling strawman ablation-matcher ablation-wait ablation-sampling
+//!   staleness audit drift tier-flattening markup-baseline
+//!   upload-consistency robustness policy release
+//! ```
+//!
+//! `--scale quick` (default) runs the full pipeline with ~6 sampled
+//! addresses per block group; `--scale paper` uses the paper's 10% / ≥30
+//! methodology (hundreds of thousands of simulated queries).
+
+use bench::experiments as exp;
+use bench::experiments_ext as ext;
+use bench::study::{resolve_cities, run_study, Scale};
+use std::io::Write;
+
+struct Args {
+    scale: Scale,
+    cities: Option<String>,
+    seed: u64,
+    threads: usize,
+    out: Option<String>,
+    command: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
+         experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
+         scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
+         staleness audit drift tier-flattening markup-baseline upload-consistency robustness policy"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Quick,
+        cities: None,
+        seed: 1,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        out: None,
+        command: String::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--cities" => args.cities = Some(it.next().unwrap_or_else(|| usage())),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            cmd if !cmd.starts_with('-') && args.command.is_empty() => {
+                args.command = cmd.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if args.command.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Static and self-contained experiments need no study run.
+    let needs_study = !matches!(
+        args.command.as_str(),
+        "table1"
+            | "fig3"
+            | "scaling"
+            | "strawman"
+            | "ablation-matcher"
+            | "ablation-wait"
+            | "ablation-sampling"
+            | "staleness"
+            | "audit"
+            | "drift"
+    );
+
+    let study = if needs_study {
+        let cities = resolve_cities(args.cities.as_deref());
+        eprintln!(
+            "[repro] curating {} cities at {:?} scale on {} threads ...",
+            cities.len(),
+            args.scale,
+            args.threads
+        );
+        let started = std::time::Instant::now();
+        let study = run_study(&cities, args.scale, args.seed, args.threads);
+        eprintln!(
+            "[repro] curation done in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+        Some(study)
+    } else {
+        None
+    };
+    let study = study.as_ref();
+
+    let report = match args.command.as_str() {
+        "all" => exp::all_reports(study.expect("study"), args.seed),
+        "table1" => exp::table1(),
+        "table2" => exp::table2(study.expect("study")),
+        "table3" => exp::table3(study.expect("study")),
+        "fig2a" => exp::fig2a(study.expect("study")),
+        "fig2b" => exp::fig2b(study.expect("study")),
+        "fig3" => exp::fig3(),
+        "fig4" => exp::fig4(study.expect("study")),
+        "fig5" => exp::fig5(study.expect("study")),
+        "fig6" => exp::fig6(study.expect("study")),
+        "fig7" => exp::fig7(study.expect("study")),
+        "fig8" => exp::fig8(study.expect("study")),
+        "fig9a" => exp::fig9a(study.expect("study")),
+        "fig9b" => exp::fig9b(study.expect("study")),
+        "scaling" => exp::scaling(args.seed),
+        "strawman" => exp::strawman_vs_bqt(args.seed),
+        "ablation-matcher" => exp::ablation_matcher(args.seed),
+        "ablation-wait" => exp::ablation_wait(args.seed),
+        "ablation-sampling" => exp::ablation_sampling(args.seed),
+        "staleness" => ext::staleness(args.seed),
+        "audit" => ext::audit(args.seed),
+        "drift" => ext::drift(args.seed),
+        "tier-flattening" => ext::tier_flattening_report(study.expect("study")),
+        "markup-baseline" => ext::markup_baseline(study.expect("study")),
+        "upload-consistency" => ext::upload_consistency_report(study.expect("study")),
+        "robustness" => ext::robustness(study.expect("study")),
+        "policy" => ext::policy(study.expect("study")),
+        "release" => ext::release(study.expect("study"), "release", args.seed),
+        _ => usage(),
+    };
+
+    match &args.out {
+        Some(path) => {
+            let mut f =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            f.write_all(report.as_bytes()).expect("write report");
+            eprintln!("[repro] wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+}

@@ -1,0 +1,16 @@
+//! Benchmark harness and paper-reproduction experiments.
+//!
+//! * [`study`] — runs the curation pipeline over any subset of the 30 study
+//!   cities, in parallel, at a configurable sampling scale;
+//! * [`experiments`] — one function per paper table/figure, each returning a
+//!   plain-text report with the same rows/series the paper plots;
+//! * the `repro` binary dispatches to them (`repro --help`);
+//! * `benches/` holds the Criterion micro-benchmarks for the
+//!   performance-sensitive components (matcher, Moran's I, KS, framing,
+//!   query path, pipeline).
+
+pub mod experiments;
+pub mod experiments_ext;
+pub mod study;
+
+pub use study::{run_study, Scale, StudyDataset};

@@ -1,0 +1,22 @@
+//! Census substrate: study cities and synthetic demographics.
+//!
+//! The paper studies 30 US cities (Table 2), each characterized by its
+//! block-group count, Zillow street-address volume, population density,
+//! median household income and the major ISPs active there. [`cities`]
+//! encodes that table verbatim as the registry every other crate keys off.
+//!
+//! The paper joins scraped plans against ACS 5-year block-group median
+//! incomes. ACS microdata is not available offline, so [`income`] generates
+//! a synthetic income field per city: block-group incomes that are lognormal
+//! around the city's Table-2 median and spatially smoothed, reproducing the
+//! well-documented spatial clustering of income that the paper's §5.5
+//! analysis keys on. [`acs`] packages the result as a joinable dataset with
+//! the paper's low/high split at the city median.
+
+pub mod acs;
+pub mod cities;
+pub mod income;
+
+pub use acs::{AcsDataset, BlockGroupDemographics, IncomeBand};
+pub use cities::{city_by_name, city_seed, CityProfile, ALL_CITIES};
+pub use income::IncomeField;

@@ -1,0 +1,57 @@
+//! Property tests over the synthetic demographics.
+
+use bbsim_census::{city_seed, IncomeField, ALL_CITIES};
+use bbsim_geo::{CityGrid, LatLon};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any city size, seed and target median, the generated income
+    /// field is positive, calibrated to the target median, and splits into
+    /// a sane high/low balance.
+    #[test]
+    fn income_fields_are_calibrated_and_positive(
+        n in 30usize..400,
+        seed in any::<u64>(),
+        median_k in 20.0f64..150.0,
+    ) {
+        let grid = CityGrid::grow(LatLon::new(40.0, -100.0), n, 10, 10, seed);
+        let field = IncomeField::generate(&grid, median_k, seed);
+        prop_assert_eq!(field.len(), n);
+        for i in 0..n {
+            prop_assert!(field.income_k(i) > 0.0);
+        }
+        // The sorted middle element equals the calibration target.
+        let mut v = field.incomes_k().to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite incomes"));
+        prop_assert!((v[n / 2] - median_k).abs() < 1e-6);
+        // High/low split is between 25% and 75% on any reasonable city.
+        let high = (0..n).filter(|&i| field.is_high_income(i)).count();
+        let frac = high as f64 / n as f64;
+        prop_assert!((0.25..=0.75).contains(&frac), "high fraction {frac}");
+    }
+
+    /// City seeds are stable and the registry lookup is total.
+    #[test]
+    fn city_seed_is_pure(name in "[A-Za-z ]{1,30}") {
+        prop_assert_eq!(city_seed(&name), city_seed(&name));
+    }
+}
+
+/// The ACS build is cell-aligned and join-complete for every study city
+/// (checked exhaustively over the smaller half of the registry).
+#[test]
+fn acs_join_is_total_for_study_cities() {
+    use bbsim_census::AcsDataset;
+    for city in ALL_CITIES.iter().filter(|c| c.block_groups <= 400) {
+        let grid = city.grid();
+        let income = IncomeField::generate(&grid, city.median_income_k, city_seed(city.name));
+        let acs = AcsDataset::build(city, &grid, &income, city_seed(city.name));
+        assert_eq!(acs.len(), grid.len(), "{}", city.name);
+        for i in 0..grid.len() {
+            let row = acs.get(grid.id(i)).expect("every grid cell joins");
+            assert_eq!(row.id, grid.id(i));
+        }
+    }
+}

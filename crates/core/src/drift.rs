@@ -1,0 +1,178 @@
+//! Template-drift monitoring: knowing when BQT's templates have gone stale.
+//!
+//! The paper's §3 limitation: "any changes made to the interfaces of these
+//! BATs by the ISPs ... will require updating BQT. To ensure that BQT
+//! continues to function properly over time, we must monitor the BATs".
+//! This module is that monitor: it watches the stream of per-query records
+//! for unrecognized-page sightings and raises a re-bootstrap flag when
+//! their rate over a sliding window exceeds a threshold.
+//!
+//! Unrecognized pages are a precise drift signal: ordinary failure modes
+//! (hard failures, blocks, unmatched suggestions) all end on *recognized*
+//! templates, so a healthy run keeps this rate at ~0 even when the hit rate
+//! is only ~85%.
+
+use crate::driver::QueryRecord;
+use std::collections::VecDeque;
+
+/// Sliding-window monitor over query records.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    window: VecDeque<bool>,
+    capacity: usize,
+    threshold: f64,
+    /// Total unrecognized sightings ever observed.
+    pub total_sightings: u64,
+}
+
+impl DriftMonitor {
+    /// A monitor over the last `capacity` queries, flagging drift when more
+    /// than `threshold` of them saw an unrecognized page.
+    pub fn new(capacity: usize, threshold: f64) -> Self {
+        assert!(capacity >= 10, "window too small to be meaningful");
+        assert!((0.0..1.0).contains(&threshold));
+        Self {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            threshold,
+            total_sightings: 0,
+        }
+    }
+
+    /// The paper-operations default: flag when >20% of the last 50 queries
+    /// hit unknown markup.
+    pub fn default_ops() -> Self {
+        Self::new(50, 0.20)
+    }
+
+    /// Feeds one completed query into the window.
+    pub fn observe(&mut self, rec: &QueryRecord) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(rec.saw_unrecognized_page);
+        if rec.saw_unrecognized_page {
+            self.total_sightings += 1;
+        }
+    }
+
+    /// Fraction of windowed queries that saw unknown markup.
+    pub fn drift_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().filter(|&&b| b).count() as f64 / self.window.len() as f64
+    }
+
+    /// True once the window shows enough unknown markup to demand a
+    /// re-bootstrap. Requires at least half a window of evidence so a
+    /// single early failure cannot trip it.
+    pub fn needs_rebootstrap(&self) -> bool {
+        self.window.len() * 2 >= self.capacity && self.drift_rate() > self.threshold
+    }
+
+    /// Clears the window (call after re-bootstrapping templates).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{QueryOutcome, QueryRecord};
+    use bbsim_net::SimDuration;
+
+    fn rec(unrecognized: bool) -> QueryRecord {
+        QueryRecord {
+            tag: 0,
+            outcome: if unrecognized {
+                QueryOutcome::Failed
+            } else {
+                QueryOutcome::NoService
+            },
+            duration: SimDuration::from_secs(30),
+            steps: 1,
+            saw_unrecognized_page: unrecognized,
+        }
+    }
+
+    #[test]
+    fn healthy_stream_never_flags() {
+        let mut m = DriftMonitor::default_ops();
+        for _ in 0..500 {
+            m.observe(&rec(false));
+        }
+        assert_eq!(m.drift_rate(), 0.0);
+        assert!(!m.needs_rebootstrap());
+        assert_eq!(m.total_sightings, 0);
+    }
+
+    #[test]
+    fn redesign_flags_quickly() {
+        let mut m = DriftMonitor::default_ops();
+        // Healthy history...
+        for _ in 0..100 {
+            m.observe(&rec(false));
+        }
+        // ...then the ISP ships a redesign: every page is unknown.
+        let mut flagged_after = None;
+        for i in 0..50 {
+            m.observe(&rec(true));
+            if m.needs_rebootstrap() {
+                flagged_after = Some(i + 1);
+                break;
+            }
+        }
+        let n = flagged_after.expect("monitor must flag a full redesign");
+        assert!(n <= 15, "took {n} queries to flag");
+    }
+
+    #[test]
+    fn sporadic_failures_do_not_flag() {
+        let mut m = DriftMonitor::default_ops();
+        for i in 0..300 {
+            m.observe(&rec(i % 10 == 0)); // 10% < 20% threshold
+        }
+        assert!(!m.needs_rebootstrap(), "rate {}", m.drift_rate());
+        assert!(m.total_sightings > 0);
+    }
+
+    #[test]
+    fn single_early_failure_cannot_trip_the_monitor() {
+        let mut m = DriftMonitor::default_ops();
+        m.observe(&rec(true));
+        assert!(
+            !m.needs_rebootstrap(),
+            "insufficient evidence must not flag"
+        );
+    }
+
+    #[test]
+    fn reset_clears_the_window_but_keeps_totals() {
+        let mut m = DriftMonitor::default_ops();
+        for _ in 0..50 {
+            m.observe(&rec(true));
+        }
+        assert!(m.needs_rebootstrap());
+        let total = m.total_sightings;
+        m.reset();
+        assert!(!m.needs_rebootstrap());
+        assert_eq!(m.drift_rate(), 0.0);
+        assert_eq!(m.total_sightings, total);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut m = DriftMonitor::new(20, 0.5);
+        for _ in 0..1000 {
+            m.observe(&rec(false));
+        }
+        for _ in 0..20 {
+            m.observe(&rec(true));
+        }
+        // Window now holds only redesign-era queries.
+        assert_eq!(m.drift_rate(), 1.0);
+        assert!(m.needs_rebootstrap());
+    }
+}

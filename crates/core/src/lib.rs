@@ -1,0 +1,41 @@
+//! BQT — the broadband plan querying tool (the paper's §3 contribution).
+//!
+//! BQT takes a street address and extracts the broadband plans an ISP's
+//! availability site (BAT) offers there, by driving the site the way a real
+//! user would: submitting the address form, recognizing which template came
+//! back, and responding — picking the best-matching suggestion when the
+//! address is not recognized (with a zip-code sanity check), selecting a
+//! random unit at multi-dwelling buildings, and clicking through the
+//! existing-customer interstitial as a prospective new customer.
+//!
+//! Components:
+//!
+//! * [`scrape`] — template detection and per-dialect page parsers (the
+//!   product of the paper's "manual bootstrapping" of each ISP's markup);
+//! * [`client`] — configuration: matcher choice, settle-wait policy,
+//!   retries, and the calibration routine that measures per-ISP settle
+//!   pauses like the paper's max-observed-download-time rule;
+//! * [`driver`] — the per-address workflow state machine and its timing
+//!   accounting (everything Fig. 2 measures);
+//! * [`metrics`] — hit-rate and query-time bookkeeping per ISP;
+//! * [`orchestrator`] — the "docker containers" analogue: a discrete-event
+//!   pool of concurrent workers with residential-IP rotation and politeness
+//!   pacing (§4.1's scaling methodology);
+//! * [`strawman`] — the §3.2 baseline: a direct-API client that reuses one
+//!   session cookie and trips the BATs' safeguards, motivating BQT's
+//!   user-mimicry design.
+
+pub mod client;
+pub mod drift;
+pub mod driver;
+pub mod metrics;
+pub mod orchestrator;
+pub mod scrape;
+pub mod strawman;
+
+pub use client::{BqtConfig, WaitPolicy};
+pub use drift::DriftMonitor;
+pub use driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
+pub use metrics::{HitRateReport, Metrics};
+pub use orchestrator::{Orchestrator, OrchestratorReport};
+pub use scrape::{DetectedPage, ScrapedPlan, TemplateSet};

@@ -1,0 +1,165 @@
+//! Hit-rate and query-time bookkeeping (the paper's Fig. 2 metrics).
+
+use crate::driver::{QueryOutcome, QueryRecord};
+use bbsim_net::SimDuration;
+
+/// Aggregated outcome counters for one (ISP, city) run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    pub queried: u64,
+    pub plans: u64,
+    pub no_service: u64,
+    pub unserviceable: u64,
+    pub blocked: u64,
+    pub failed: u64,
+    /// Query resolution times of *hit* queries, in seconds.
+    durations_s: Vec<f64>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one query record into the counters.
+    pub fn record(&mut self, rec: &QueryRecord) {
+        self.queried += 1;
+        match &rec.outcome {
+            QueryOutcome::Plans(_) => self.plans += 1,
+            QueryOutcome::NoService => self.no_service += 1,
+            QueryOutcome::Unserviceable => self.unserviceable += 1,
+            QueryOutcome::Blocked => self.blocked += 1,
+            QueryOutcome::Failed => self.failed += 1,
+        }
+        if rec.outcome.is_hit() {
+            self.durations_s.push(rec.duration.as_secs_f64());
+        }
+    }
+
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.queried += other.queried;
+        self.plans += other.plans;
+        self.no_service += other.no_service;
+        self.unserviceable += other.unserviceable;
+        self.blocked += other.blocked;
+        self.failed += other.failed;
+        self.durations_s.extend_from_slice(&other.durations_s);
+    }
+
+    /// The paper's hit rate: fraction of queried addresses with a
+    /// successful response (plans or authoritative no-service).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queried == 0 {
+            return 0.0;
+        }
+        (self.plans + self.no_service) as f64 / self.queried as f64
+    }
+
+    /// Query-time sample (seconds) for distribution plots.
+    pub fn durations_s(&self) -> &[f64] {
+        &self.durations_s
+    }
+
+    /// Median query resolution time of hit queries.
+    pub fn median_duration(&self) -> Option<SimDuration> {
+        if self.durations_s.is_empty() {
+            return None;
+        }
+        let mut v = self.durations_s.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        Some(SimDuration::from_secs_f64(v[v.len() / 2]))
+    }
+
+    /// Renders a one-line summary for reports.
+    pub fn report(&self) -> HitRateReport {
+        HitRateReport {
+            queried: self.queried,
+            hit_rate: self.hit_rate(),
+            median_query_s: self.median_duration().map(|d| d.as_secs_f64()),
+        }
+    }
+}
+
+/// A compact summary row (one per ISP in Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRateReport {
+    pub queried: u64,
+    pub hit_rate: f64,
+    pub median_query_s: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrape::ScrapedPlan;
+
+    fn rec(outcome: QueryOutcome, secs: u64) -> QueryRecord {
+        QueryRecord {
+            tag: 0,
+            outcome,
+            duration: SimDuration::from_secs(secs),
+            steps: 1,
+            saw_unrecognized_page: false,
+        }
+    }
+
+    fn plan() -> ScrapedPlan {
+        ScrapedPlan {
+            download_mbps: 100.0,
+            upload_mbps: 10.0,
+            price_usd: 50.0,
+        }
+    }
+
+    #[test]
+    fn hit_rate_counts_plans_and_no_service() {
+        let mut m = Metrics::new();
+        m.record(&rec(QueryOutcome::Plans(vec![plan()]), 30));
+        m.record(&rec(QueryOutcome::NoService, 25));
+        m.record(&rec(QueryOutcome::Unserviceable, 40));
+        m.record(&rec(QueryOutcome::Failed, 90));
+        assert_eq!(m.queried, 4);
+        assert_eq!(m.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn durations_only_include_hits() {
+        let mut m = Metrics::new();
+        m.record(&rec(QueryOutcome::Plans(vec![plan()]), 30));
+        m.record(&rec(QueryOutcome::Failed, 500));
+        assert_eq!(m.durations_s(), &[30.0]);
+        assert_eq!(m.median_duration(), Some(SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_hit_rate_and_no_median() {
+        let m = Metrics::new();
+        assert_eq!(m.hit_rate(), 0.0);
+        assert_eq!(m.median_duration(), None);
+        assert_eq!(m.report().median_query_s, None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_samples() {
+        let mut a = Metrics::new();
+        a.record(&rec(QueryOutcome::Plans(vec![plan()]), 10));
+        let mut b = Metrics::new();
+        b.record(&rec(QueryOutcome::Blocked, 5));
+        b.record(&rec(QueryOutcome::NoService, 20));
+        a.merge(&b);
+        assert_eq!(a.queried, 3);
+        assert_eq!(a.blocked, 1);
+        assert_eq!(a.durations_s().len(), 2);
+        assert!((a.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut m = Metrics::new();
+        for s in [50, 10, 30, 20, 40] {
+            m.record(&rec(QueryOutcome::NoService, s));
+        }
+        assert_eq!(m.median_duration(), Some(SimDuration::from_secs(30)));
+    }
+}

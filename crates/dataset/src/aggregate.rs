@@ -1,0 +1,160 @@
+//! Block-group aggregation (§5.1).
+//!
+//! The paper reports plans at block-group granularity: the group's carriage
+//! value is the *median* of the best per-address carriage values, justified
+//! by the low within-group coefficient of variation (Fig. 4). This module
+//! computes both, plus the observable fiber share used by the income
+//! analysis.
+
+use crate::record::PlanRecord;
+use bbsim_geo::BlockGroupId;
+use bbsim_isp::Isp;
+use bbsim_stats::{coefficient_of_variation, median};
+use std::collections::BTreeMap;
+
+/// Aggregated per-(ISP, block group) row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockGroupRow {
+    pub city: String,
+    pub isp: Isp,
+    pub block_group: BlockGroupId,
+    pub bg_index: usize,
+    /// Median of the best per-address carriage values.
+    pub median_cv: f64,
+    /// Coefficient of variation of best cv within the group (Fig. 4).
+    pub cov: Option<f64>,
+    /// Addresses with plans scraped in this group.
+    pub n_addresses: usize,
+    /// Fraction of addresses whose best plan looks fiber-fed.
+    pub fiber_share: f64,
+}
+
+/// Aggregates per-address records into block-group rows.
+///
+/// Addresses with no plans (no-service) are excluded from carriage-value
+/// statistics, matching the paper's treatment; groups with no served
+/// addresses produce no row.
+pub fn aggregate_block_groups(records: &[PlanRecord]) -> Vec<BlockGroupRow> {
+    // Group by (isp, bg).
+    let mut groups: BTreeMap<(Isp, u64), Vec<&PlanRecord>> = BTreeMap::new();
+    for r in records {
+        groups
+            .entry((r.isp, r.block_group.as_u64()))
+            .or_default()
+            .push(r);
+    }
+
+    let mut rows = Vec::with_capacity(groups.len());
+    for ((isp, _), recs) in groups {
+        let cvs: Vec<f64> = recs.iter().filter_map(|r| r.best_cv()).collect();
+        if cvs.is_empty() {
+            continue;
+        }
+        let fiber = recs
+            .iter()
+            .filter(|r| r.best_plan_is_fiber() == Some(true))
+            .count();
+        let first = recs[0];
+        rows.push(BlockGroupRow {
+            city: first.city.clone(),
+            isp,
+            block_group: first.block_group,
+            bg_index: first.bg_index,
+            median_cv: median(&cvs).expect("cvs non-empty"),
+            cov: coefficient_of_variation(&cvs),
+            n_addresses: cvs.len(),
+            fiber_share: fiber as f64 / cvs.len() as f64,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqt::ScrapedPlan;
+
+    fn rec(isp: Isp, bg: u8, cv_price: f64, fiber: bool) -> PlanRecord {
+        // One plan with download = cv_price * price so best_cv = cv_price.
+        let price = 50.0;
+        PlanRecord {
+            city: "Testville".to_string(),
+            isp,
+            address_tag: 0,
+            block_group: BlockGroupId::new(22, 71, 1, bg),
+            bg_index: bg as usize,
+            plans: vec![ScrapedPlan {
+                download_mbps: cv_price * price,
+                upload_mbps: if fiber { cv_price * price } else { 5.0 },
+                price_usd: price,
+            }],
+        }
+    }
+
+    #[test]
+    fn median_cv_per_group() {
+        let records = vec![
+            rec(Isp::Cox, 1, 10.0, false),
+            rec(Isp::Cox, 1, 12.0, false),
+            rec(Isp::Cox, 1, 14.0, false),
+            rec(Isp::Cox, 2, 20.0, false),
+        ];
+        let rows = aggregate_block_groups(&records);
+        assert_eq!(rows.len(), 2);
+        let bg1 = rows.iter().find(|r| r.bg_index == 1).unwrap();
+        assert_eq!(bg1.median_cv, 12.0);
+        assert_eq!(bg1.n_addresses, 3);
+        let bg2 = rows.iter().find(|r| r.bg_index == 2).unwrap();
+        assert_eq!(bg2.median_cv, 20.0);
+    }
+
+    #[test]
+    fn isps_aggregate_separately() {
+        let records = vec![rec(Isp::Cox, 1, 10.0, false), rec(Isp::Att, 1, 5.0, true)];
+        let rows = aggregate_block_groups(&records);
+        assert_eq!(rows.len(), 2);
+        assert!(rows
+            .iter()
+            .any(|r| r.isp == Isp::Cox && r.median_cv == 10.0));
+        assert!(rows.iter().any(|r| r.isp == Isp::Att && r.median_cv == 5.0));
+    }
+
+    #[test]
+    fn no_service_addresses_are_excluded() {
+        let mut empty = rec(Isp::Cox, 3, 10.0, false);
+        empty.plans.clear();
+        let records = vec![empty, rec(Isp::Cox, 3, 12.0, false)];
+        let rows = aggregate_block_groups(&records);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].n_addresses, 1);
+        assert_eq!(rows[0].median_cv, 12.0);
+    }
+
+    #[test]
+    fn group_with_only_no_service_produces_no_row() {
+        let mut empty = rec(Isp::Cox, 4, 10.0, false);
+        empty.plans.clear();
+        assert!(aggregate_block_groups(&[empty]).is_empty());
+    }
+
+    #[test]
+    fn uniform_group_has_zero_cov() {
+        let records = vec![rec(Isp::Cox, 1, 10.0, false), rec(Isp::Cox, 1, 10.0, false)];
+        let rows = aggregate_block_groups(&records);
+        assert_eq!(rows[0].cov, Some(0.0));
+    }
+
+    #[test]
+    fn mixed_dsl_fiber_group_has_high_cov_and_partial_fiber_share() {
+        // The AT&T Fig-4 long-tail case: DSL (cv 0.1) and fiber (cv 12.5)
+        // in one group.
+        let records = vec![
+            rec(Isp::Att, 1, 0.1, false),
+            rec(Isp::Att, 1, 12.5, true),
+            rec(Isp::Att, 1, 12.5, true),
+        ];
+        let rows = aggregate_block_groups(&records);
+        assert!(rows[0].cov.unwrap() > 0.5, "cov {:?}", rows[0].cov);
+        assert!((rows[0].fiber_share - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,270 @@
+//! CSV interchange for the measurement dataset.
+//!
+//! Hand-rolled on purpose: the schema is two fixed tables, and owning the
+//! parser means malformed rows produce typed errors rather than silent
+//! drops. Plans are packed into one cell as `down/up/price` triples joined
+//! by `;`, so one row is one address.
+
+use crate::aggregate::BlockGroupRow;
+use crate::anonymize::anonymize_token;
+use crate::record::PlanRecord;
+use bbsim_geo::BlockGroupId;
+use bbsim_isp::Isp;
+use bqt::ScrapedPlan;
+use std::fmt;
+
+/// CSV schema violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    WrongColumnCount { line: usize, got: usize },
+    BadField { line: usize, field: &'static str },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::WrongColumnCount { line, got } => {
+                write!(f, "line {line}: expected 6 columns, got {got}")
+            }
+            CsvError::BadField { line, field } => write!(f, "line {line}: bad {field}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Header of the per-address table.
+pub const RECORDS_HEADER: &str = "city,isp,address,geoid,bg_index,plans";
+
+fn pack_plans(plans: &[ScrapedPlan]) -> String {
+    plans
+        .iter()
+        .map(|p| format!("{}/{}/{}", p.download_mbps, p.upload_mbps, p.price_usd))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn unpack_plans(cell: &str, line: usize) -> Result<Vec<ScrapedPlan>, CsvError> {
+    if cell.is_empty() {
+        return Ok(Vec::new());
+    }
+    cell.split(';')
+        .map(|triple| {
+            let parts: Vec<&str> = triple.split('/').collect();
+            if parts.len() != 3 {
+                return Err(CsvError::BadField {
+                    line,
+                    field: "plans",
+                });
+            }
+            let parse = |s: &str| {
+                s.parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .ok_or(CsvError::BadField {
+                        line,
+                        field: "plans",
+                    })
+            };
+            Ok(ScrapedPlan {
+                download_mbps: parse(parts[0])?,
+                upload_mbps: parse(parts[1])?,
+                price_usd: parse(parts[2])?,
+            })
+        })
+        .collect()
+}
+
+/// Serializes per-address records. With `anonymize_salt` set, address tags
+/// are replaced by one-way tokens (the public-release form).
+pub fn records_to_csv(records: &[PlanRecord], anonymize_salt: Option<u64>) -> String {
+    let mut out = String::from(RECORDS_HEADER);
+    out.push('\n');
+    for r in records {
+        let addr = match anonymize_salt {
+            Some(salt) => anonymize_token(r.address_tag, salt),
+            None => r.address_tag.to_string(),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.city,
+            r.isp.slug(),
+            addr,
+            r.block_group,
+            r.bg_index,
+            pack_plans(&r.plans)
+        ));
+    }
+    out
+}
+
+/// Parses the per-address table (non-anonymized form only: anonymized
+/// address tokens round-trip as tag 0, preserving everything else).
+pub fn records_from_csv(csv: &str) -> Result<Vec<PlanRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 6 {
+            return Err(CsvError::WrongColumnCount {
+                line: i + 1,
+                got: cols.len(),
+            });
+        }
+        let isp = Isp::from_slug(cols[1]).ok_or(CsvError::BadField {
+            line: i + 1,
+            field: "isp",
+        })?;
+        let address_tag = if cols[2].starts_with("addr-") {
+            0
+        } else {
+            cols[2].parse().map_err(|_| CsvError::BadField {
+                line: i + 1,
+                field: "address",
+            })?
+        };
+        let block_group: BlockGroupId = cols[3].parse().map_err(|_| CsvError::BadField {
+            line: i + 1,
+            field: "geoid",
+        })?;
+        let bg_index: usize = cols[4].parse().map_err(|_| CsvError::BadField {
+            line: i + 1,
+            field: "bg_index",
+        })?;
+        out.push(PlanRecord {
+            city: cols[0].to_string(),
+            isp,
+            address_tag,
+            block_group,
+            bg_index,
+            plans: unpack_plans(cols[5], i + 1)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Serializes block-group rows (the aggregate table behind the figures).
+pub fn block_groups_to_csv(rows: &[BlockGroupRow]) -> String {
+    let mut out = String::from("city,isp,geoid,bg_index,median_cv,cov,n_addresses,fiber_share\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{},{},{:.6}\n",
+            r.city,
+            r.isp.slug(),
+            r.block_group,
+            r.bg_index,
+            r.median_cv,
+            r.cov.map_or(String::new(), |c| format!("{c:.6}")),
+            r.n_addresses,
+            r.fiber_share
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<PlanRecord> {
+        vec![
+            PlanRecord {
+                city: "New Orleans".to_string(),
+                isp: Isp::Cox,
+                address_tag: 17,
+                block_group: BlockGroupId::new(22, 71, 3, 2),
+                bg_index: 9,
+                plans: vec![
+                    ScrapedPlan {
+                        download_mbps: 200.0,
+                        upload_mbps: 5.0,
+                        price_usd: 20.0,
+                    },
+                    ScrapedPlan {
+                        download_mbps: 1000.0,
+                        upload_mbps: 35.0,
+                        price_usd: 35.0,
+                    },
+                ],
+            },
+            PlanRecord {
+                city: "New Orleans".to_string(),
+                isp: Isp::Att,
+                address_tag: 18,
+                block_group: BlockGroupId::new(22, 71, 3, 2),
+                bg_index: 9,
+                plans: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let records = sample_records();
+        let csv = records_to_csv(&records, None);
+        let parsed = records_from_csv(&csv).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn no_service_rows_have_empty_plans_cell() {
+        let csv = records_to_csv(&sample_records(), None);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[2].ends_with(",9,"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn anonymized_export_hides_tags_but_parses() {
+        let records = sample_records();
+        let csv = records_to_csv(&records, Some(99));
+        assert!(!csv.contains(",17,"), "raw tag leaked");
+        assert!(csv.contains("addr-"));
+        let parsed = records_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].address_tag, 0, "anonymized tags parse as 0");
+        assert_eq!(parsed[0].plans, records[0].plans);
+    }
+
+    #[test]
+    fn wrong_column_count_is_reported_with_line() {
+        let bad = format!("{RECORDS_HEADER}\na,b,c\n");
+        assert_eq!(
+            records_from_csv(&bad),
+            Err(CsvError::WrongColumnCount { line: 2, got: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_fields_are_typed_errors() {
+        let bad = format!("{RECORDS_HEADER}\nX,notanisp,1,220710000032,9,\n");
+        assert!(matches!(
+            records_from_csv(&bad),
+            Err(CsvError::BadField { field: "isp", .. })
+        ));
+        let bad2 = format!("{RECORDS_HEADER}\nX,cox,1,220710000032,9,1/2\n");
+        assert!(matches!(
+            records_from_csv(&bad2),
+            Err(CsvError::BadField { field: "plans", .. })
+        ));
+    }
+
+    #[test]
+    fn block_group_csv_contains_expected_columns() {
+        let rows = vec![BlockGroupRow {
+            city: "Wichita".to_string(),
+            isp: Isp::Cox,
+            block_group: BlockGroupId::new(20, 173, 1, 1),
+            bg_index: 0,
+            median_cv: 11.36,
+            cov: Some(0.02),
+            n_addresses: 30,
+            fiber_share: 0.0,
+        }];
+        let csv = block_groups_to_csv(&rows);
+        assert!(csv.contains("Wichita,cox,"));
+        assert!(csv.contains("11.360000"));
+        assert!(csv.lines().count() == 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Dataset curation: the paper's §4 pipeline.
+//!
+//! One call builds a city's hidden world, deploys its BAT servers on the
+//! simulated transport, samples street addresses per block group (10% with
+//! a 30-sample floor), drives BQT through the orchestrator, and lands the
+//! scraped results as plan records — the measurement dataset every §5
+//! analysis consumes.
+//!
+//! Layering rule: everything in this crate downstream of the scrape sees
+//! only what came off the wire (scraped plans, timings, outcomes) plus
+//! *public* context (census geometry, ACS income). The generative world is
+//! used solely to stand up servers and enumerate addresses to query.
+//!
+//! * [`pipeline`] — end-to-end curation for one city or the full study;
+//! * [`record`] — the per-address and per-block-group dataset schemas;
+//! * [`aggregate`] — carriage values, block-group medians and CoV (§5.1);
+//! * [`anonymize`] — the hashed public-release form of the dataset;
+//! * [`csvio`] — plain-text CSV export/import for interchange.
+
+pub mod aggregate;
+pub mod anonymize;
+pub mod csvio;
+pub mod pipeline;
+pub mod record;
+
+pub use aggregate::{aggregate_block_groups, BlockGroupRow};
+pub use anonymize::anonymize_tag;
+pub use pipeline::{curate_city, CityDataset, CurationOptions};
+pub use record::PlanRecord;

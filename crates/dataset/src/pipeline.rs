@@ -1,0 +1,282 @@
+//! End-to-end curation: world up, servers on, BQT through, records out.
+
+use crate::record::PlanRecord;
+use bbsim_address::matching::Measure;
+use bbsim_bat::{templates, BatServer};
+use bbsim_census::{city_seed, CityProfile};
+use bbsim_isp::{CityWorld, Isp};
+use bbsim_net::{Endpoint, IpPool, RotationPolicy, SimDuration, Transport};
+use bqt::{BqtConfig, Metrics, Orchestrator, QueryJob, QueryOutcome};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Knobs for a curation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurationOptions {
+    /// Fraction of each block group's addresses to sample (paper: 0.10).
+    pub sample_rate: f64,
+    /// Floor of samples per block group (paper: 30).
+    pub min_samples: usize,
+    /// Optional cap per block group, for reduced-scale runs.
+    pub max_samples_per_bg: Option<usize>,
+    /// Concurrent worker containers (paper: 50–100).
+    pub workers: usize,
+    /// Addresses used to calibrate each ISP's settle pause.
+    pub calibration_samples: usize,
+    /// Run seed (composes with the city seed).
+    pub seed: u64,
+    /// Suggestion-matching measure (the matcher ablation's knob).
+    pub measure: Measure,
+    /// World epoch in months (0 = the study's first snapshot); drives the
+    /// §4.3 staleness experiment.
+    pub epoch: u32,
+}
+
+impl CurationOptions {
+    /// The paper's full methodology.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            sample_rate: 0.10,
+            min_samples: 30,
+            max_samples_per_bg: None,
+            workers: 64,
+            calibration_samples: 20,
+            seed,
+            measure: Measure::TokenSort,
+            epoch: 0,
+        }
+    }
+
+    /// A reduced-scale configuration for tests and quick demos: the same
+    /// pipeline with fewer samples per block group.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            sample_rate: 0.10,
+            min_samples: 6,
+            max_samples_per_bg: Some(6),
+            workers: 32,
+            calibration_samples: 10,
+            seed,
+            measure: Measure::TokenSort,
+            epoch: 0,
+        }
+    }
+}
+
+/// The curated dataset for one city.
+pub struct CityDataset {
+    pub city: &'static CityProfile,
+    /// Per-address scraped rows (hits only; misses appear in metrics).
+    pub records: Vec<PlanRecord>,
+    /// Per-ISP outcome counters (Fig. 2 inputs).
+    pub per_isp_metrics: Vec<(Isp, Metrics)>,
+    /// Per-ISP calibrated settle pauses.
+    pub per_isp_pause: Vec<(Isp, SimDuration)>,
+}
+
+impl CityDataset {
+    /// Records for one ISP.
+    pub fn records_for(&self, isp: Isp) -> impl Iterator<Item = &PlanRecord> {
+        self.records.iter().filter(move |r| r.isp == isp)
+    }
+
+    /// Metrics for one ISP, if it was curated here.
+    pub fn metrics_for(&self, isp: Isp) -> Option<&Metrics> {
+        self.per_isp_metrics
+            .iter()
+            .find(|(i, _)| *i == isp)
+            .map(|(_, m)| m)
+    }
+}
+
+/// Curates one city: the paper's §4.1 methodology over the simulated web.
+pub fn curate_city(city: &'static CityProfile, opts: &CurationOptions) -> CityDataset {
+    assert!(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0);
+    assert!(opts.workers >= 1);
+
+    let world = Arc::new(CityWorld::build_at(city, opts.epoch));
+    let run_seed = city_seed(city.name) ^ opts.seed.rotate_left(16) ^ ((opts.epoch as u64) << 1);
+    let mut transport = Transport::new(run_seed);
+
+    // Stand the BAT fleet up.
+    for isp in world.isps() {
+        let server = BatServer::new(isp, world.clone());
+        let net = server.profile().network_latency;
+        transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
+    }
+
+    let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, run_seed);
+    let mut records = Vec::new();
+    let mut per_isp_metrics = Vec::new();
+    let mut per_isp_pause = Vec::new();
+
+    for isp in world.isps() {
+        // Calibrate the settle pause like the paper: max observed load time
+        // over a bootstrap sample.
+        let calib_lines: Vec<String> = world
+            .addresses()
+            .records()
+            .iter()
+            .take(opts.calibration_samples.max(1))
+            .map(|r| r.canonical.canonical_line())
+            .collect();
+        let src = pool.next();
+        let pause =
+            bqt::client::calibrate_pause(&mut transport, isp.slug(), &calib_lines, src, run_seed);
+        per_isp_pause.push((isp, pause));
+        let mut config = BqtConfig::paper_default(pause);
+        config.measure = opts.measure;
+
+        // Sample addresses per block group (10%, floor 30, optional cap).
+        let db = world.addresses();
+        let mut jobs = Vec::new();
+        let mut tag_to_addr: HashMap<u64, u32> = HashMap::new();
+        for bg in 0..world.grid().len() {
+            let mut sampled =
+                db.sample_block_group(bg, opts.sample_rate, opts.min_samples, run_seed);
+            if let Some(cap) = opts.max_samples_per_bg {
+                sampled.truncate(cap);
+            }
+            for rec in sampled {
+                let tag = rec.id as u64;
+                tag_to_addr.insert(tag, rec.id);
+                jobs.push(QueryJob {
+                    endpoint: isp.slug().to_string(),
+                    dialect: templates::dialect_of(isp),
+                    input_line: rec.listing_line.clone(),
+                    tag,
+                });
+            }
+        }
+
+        // Scrape.
+        let orch = Orchestrator {
+            n_workers: opts.workers,
+            politeness: SimDuration::from_secs(5),
+            seed: run_seed ^ (isp.column() as u64),
+        };
+        let report = orch.run(&mut transport, &config, &jobs, &mut pool);
+
+        // Land hits as dataset rows.
+        for qrec in &report.records {
+            let plans = match &qrec.outcome {
+                QueryOutcome::Plans(p) => p.clone(),
+                QueryOutcome::NoService => Vec::new(),
+                _ => continue,
+            };
+            let addr_id = tag_to_addr[&qrec.tag];
+            let addr = world.addresses().record(addr_id);
+            records.push(PlanRecord {
+                city: city.name.to_string(),
+                isp,
+                address_tag: qrec.tag,
+                block_group: addr.block_group,
+                bg_index: addr.bg_index,
+                plans,
+            });
+        }
+        per_isp_metrics.push((isp, report.metrics));
+    }
+
+    CityDataset {
+        city,
+        records,
+        per_isp_metrics,
+        per_isp_pause,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate_block_groups;
+    use bbsim_census::city_by_name;
+
+    fn billings() -> CityDataset {
+        curate_city(
+            city_by_name("Billings").unwrap(),
+            &CurationOptions::quick(1),
+        )
+    }
+
+    #[test]
+    fn curates_both_isps_with_high_hit_rates() {
+        let ds = billings();
+        assert_eq!(ds.per_isp_metrics.len(), 2);
+        for (isp, m) in &ds.per_isp_metrics {
+            assert!(m.queried > 300, "{isp}: {m:?}");
+            assert!(m.hit_rate() > 0.75, "{isp}: hit rate {}", m.hit_rate());
+        }
+    }
+
+    #[test]
+    fn records_cover_most_block_groups() {
+        let ds = billings();
+        let rows = aggregate_block_groups(&ds.records);
+        let spectrum_rows = rows
+            .iter()
+            .filter(|r| r.isp == bbsim_isp::Isp::Spectrum)
+            .count();
+        // Spectrum (cable) serves ~all 98 groups; most should have data.
+        assert!(spectrum_rows > 80, "only {spectrum_rows} Spectrum rows");
+    }
+
+    #[test]
+    fn scraped_cvs_are_in_catalog_range() {
+        let ds = billings();
+        for r in &ds.records {
+            if let Some(cv) = r.best_cv() {
+                assert!(cv > 0.0 && cv < 60.0, "{}: cv {cv}", r.isp);
+            }
+        }
+    }
+
+    #[test]
+    fn per_bg_sample_counts_respect_quick_cap() {
+        let ds = billings();
+        let mut per_bg: std::collections::HashMap<(bbsim_isp::Isp, usize), usize> =
+            std::collections::HashMap::new();
+        for r in &ds.records {
+            *per_bg.entry((r.isp, r.bg_index)).or_default() += 1;
+        }
+        for (&(isp, bg), &n) in &per_bg {
+            assert!(n <= 6, "{isp} bg {bg}: {n} records exceed the cap");
+        }
+    }
+
+    #[test]
+    fn curation_is_deterministic_in_seed() {
+        let a = curate_city(
+            city_by_name("Billings").unwrap(),
+            &CurationOptions::quick(5),
+        );
+        let b = curate_city(
+            city_by_name("Billings").unwrap(),
+            &CurationOptions::quick(5),
+        );
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x, y);
+        }
+        let c = curate_city(
+            city_by_name("Billings").unwrap(),
+            &CurationOptions::quick(6),
+        );
+        assert!(
+            a.records.len() != c.records.len() || a.records != c.records,
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn calibrated_pauses_track_isp_latency_ordering() {
+        let ds = billings();
+        // Billings has CenturyLink (slower) and Spectrum (slowest of all).
+        let pause_of =
+            |isp: bbsim_isp::Isp| ds.per_isp_pause.iter().find(|(i, _)| *i == isp).unwrap().1;
+        assert!(
+            pause_of(bbsim_isp::Isp::Spectrum) > pause_of(bbsim_isp::Isp::CenturyLink),
+            "Spectrum pause should exceed CenturyLink's"
+        );
+    }
+}

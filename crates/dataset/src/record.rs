@@ -1,0 +1,106 @@
+//! Dataset schemas.
+
+use bbsim_geo::BlockGroupId;
+use bbsim_isp::Isp;
+use bqt::ScrapedPlan;
+
+/// One scraped address: the row type of the measurement dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRecord {
+    pub city: String,
+    pub isp: Isp,
+    /// Opaque per-address tag (the anonymized public release hashes this).
+    pub address_tag: u64,
+    /// Census block group of the address (public geometry).
+    pub block_group: BlockGroupId,
+    /// Cell index of the block group in the city grid.
+    pub bg_index: usize,
+    /// The plans scraped at this address (empty = authoritative
+    /// no-service).
+    pub plans: Vec<ScrapedPlan>,
+}
+
+impl PlanRecord {
+    /// Best carriage value among scraped plans (the paper's per-address
+    /// metric); `None` for a no-service address.
+    pub fn best_cv(&self) -> Option<f64> {
+        self.plans
+            .iter()
+            .map(ScrapedPlan::carriage_value)
+            .fold(None, |acc, cv| Some(acc.map_or(cv, |a: f64| a.max(cv))))
+    }
+
+    /// Whether the best plan at this address looks fiber-fed (observable
+    /// classification used by §5.5).
+    pub fn best_plan_is_fiber(&self) -> Option<bool> {
+        let best = self.plans.iter().max_by(|a, b| {
+            a.carriage_value()
+                .partial_cmp(&b.carriage_value())
+                .expect("carriage values are finite")
+        })?;
+        Some(best.looks_like_fiber())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(plans: Vec<ScrapedPlan>) -> PlanRecord {
+        PlanRecord {
+            city: "Testville".to_string(),
+            isp: Isp::Cox,
+            address_tag: 7,
+            block_group: BlockGroupId::new(22, 71, 1, 1),
+            bg_index: 0,
+            plans,
+        }
+    }
+
+    #[test]
+    fn best_cv_takes_the_maximum() {
+        let r = record(vec![
+            ScrapedPlan {
+                download_mbps: 200.0,
+                upload_mbps: 5.0,
+                price_usd: 20.0,
+            },
+            ScrapedPlan {
+                download_mbps: 1000.0,
+                upload_mbps: 35.0,
+                price_usd: 35.0,
+            },
+        ]);
+        assert!((r.best_cv().unwrap() - 28.571).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_service_has_no_best_cv() {
+        let r = record(vec![]);
+        assert_eq!(r.best_cv(), None);
+        assert_eq!(r.best_plan_is_fiber(), None);
+    }
+
+    #[test]
+    fn fiber_classification_uses_best_plan() {
+        let r = record(vec![
+            ScrapedPlan {
+                download_mbps: 6.0,
+                upload_mbps: 1.0,
+                price_usd: 55.0,
+            },
+            ScrapedPlan {
+                download_mbps: 1000.0,
+                upload_mbps: 1000.0,
+                price_usd: 80.0,
+            },
+        ]);
+        assert_eq!(r.best_plan_is_fiber(), Some(true));
+        let dsl_only = record(vec![ScrapedPlan {
+            download_mbps: 6.0,
+            upload_mbps: 1.0,
+            price_usd: 55.0,
+        }]);
+        assert_eq!(dsl_only.best_plan_is_fiber(), Some(false));
+    }
+}

@@ -1,0 +1,73 @@
+//! Parser robustness: CSV ingestion must reject malformed input with typed
+//! errors, never panic, and always round-trip what it accepts.
+
+use bbsim_dataset::csvio::{records_from_csv, records_to_csv, RECORDS_HEADER};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary text never panics the CSV parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in "[ -~\\n,]{0,500}") {
+        let _ = records_from_csv(&text);
+    }
+
+    /// Arbitrary *rows* under a valid header never panic, and accepted rows
+    /// re-serialize to something the parser accepts again (idempotent
+    /// ingestion).
+    #[test]
+    fn accepted_rows_roundtrip(rows in proptest::collection::vec("[ -~]{0,80}", 0..20)) {
+        let mut csv = String::from(RECORDS_HEADER);
+        csv.push('\n');
+        for r in &rows {
+            csv.push_str(r);
+            csv.push('\n');
+        }
+        if let Ok(records) = records_from_csv(&csv) {
+            let out = records_to_csv(&records, None);
+            let reparsed = records_from_csv(&out).expect("own output must parse");
+            prop_assert_eq!(reparsed, records);
+        }
+    }
+
+    /// Well-formed generated rows always parse back exactly.
+    #[test]
+    fn generated_rows_always_parse(
+        entries in proptest::collection::vec(
+            (
+                1u8..=99, 1u16..=999, 0u32..=999_999, 0u8..=9,  // geoid
+                0usize..2000,                                     // bg index
+                proptest::collection::vec((1.0f64..2000.0, 1.0f64..2000.0, 5.0f64..150.0), 0..5),
+            ),
+            0..30
+        )
+    ) {
+        use bbsim_dataset::PlanRecord;
+        use bbsim_geo::BlockGroupId;
+        use bqt::ScrapedPlan;
+        let records: Vec<PlanRecord> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (st, co, tr, bg, idx, plans))| PlanRecord {
+                city: "Fuzzville".to_string(),
+                isp: bbsim_isp::ALL_ISPS[i % 7],
+                address_tag: i as u64,
+                block_group: BlockGroupId::new(*st, *co, *tr, *bg),
+                bg_index: *idx,
+                plans: plans
+                    .iter()
+                    .map(|&(d, u, p)| ScrapedPlan {
+                        // Round to keep float text round-trips exact.
+                        download_mbps: (d * 100.0).round() / 100.0,
+                        upload_mbps: (u * 100.0).round() / 100.0,
+                        price_usd: (p * 100.0).round() / 100.0,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let csv = records_to_csv(&records, None);
+        let parsed = records_from_csv(&csv).expect("generated rows are valid");
+        prop_assert_eq!(parsed, records);
+    }
+}

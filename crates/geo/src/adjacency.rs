@@ -1,0 +1,330 @@
+//! Contiguity graphs and spatial weights for autocorrelation analysis.
+//!
+//! Moran's I (computed in `bbsim-stats`) needs a spatial weights matrix W.
+//! Following standard practice (and the paper's use of Moran's I over city
+//! block groups), we build W from cell contiguity and row-standardize it so
+//! every row sums to one.
+
+use crate::grid::{CellIndex, CityGrid};
+
+/// Which lattice neighbours count as contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contiguity {
+    /// Edge-sharing neighbours only (up to 4).
+    Rook,
+    /// Edge- or corner-sharing neighbours (up to 8).
+    Queen,
+}
+
+/// Unweighted adjacency lists over the cells of a city.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    neighbors: Vec<Vec<CellIndex>>,
+}
+
+impl Adjacency {
+    /// Builds contiguity adjacency from a city grid.
+    pub fn from_grid(grid: &CityGrid, contiguity: Contiguity) -> Self {
+        let neighbors = (0..grid.len())
+            .map(|i| match contiguity {
+                Contiguity::Rook => grid.rook_neighbors(i),
+                Contiguity::Queen => grid.queen_neighbors(i),
+            })
+            .collect();
+        Self { neighbors }
+    }
+
+    /// Builds adjacency directly from neighbour lists (for tests or
+    /// non-lattice geographies). Asserts symmetry.
+    pub fn from_lists(neighbors: Vec<Vec<CellIndex>>) -> Self {
+        for (i, ns) in neighbors.iter().enumerate() {
+            for &j in ns {
+                assert!(j < neighbors.len(), "neighbor index out of range");
+                assert!(
+                    neighbors[j].contains(&i),
+                    "adjacency must be symmetric: {i} -> {j} but not {j} -> {i}"
+                );
+            }
+        }
+        Self { neighbors }
+    }
+
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    pub fn neighbors(&self, i: CellIndex) -> &[CellIndex] {
+        &self.neighbors[i]
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum()
+    }
+}
+
+/// Row-standardized sparse spatial weights.
+///
+/// Row `i` lists `(j, w_ij)` with `sum_j w_ij == 1` for any cell with at
+/// least one neighbour. Isolated cells have empty rows (standard convention:
+/// they contribute nothing to Moran's I numerator).
+#[derive(Debug, Clone)]
+pub struct SpatialWeights {
+    rows: Vec<Vec<(CellIndex, f64)>>,
+}
+
+impl SpatialWeights {
+    /// Row-standardizes an adjacency structure.
+    pub fn row_standardized(adj: &Adjacency) -> Self {
+        let rows = (0..adj.len())
+            .map(|i| {
+                let ns = adj.neighbors(i);
+                if ns.is_empty() {
+                    Vec::new()
+                } else {
+                    let w = 1.0 / ns.len() as f64;
+                    ns.iter().map(|&j| (j, w)).collect()
+                }
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// Builds weights with explicit values; rows need not be standardized.
+    pub fn from_rows(rows: Vec<Vec<(CellIndex, f64)>>) -> Self {
+        for ns in &rows {
+            for &(j, w) in ns {
+                assert!(j < rows.len(), "weight column out of range");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "weights must be finite and non-negative"
+                );
+            }
+        }
+        Self { rows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sparse row `i` as `(column, weight)` pairs.
+    pub fn row(&self, i: CellIndex) -> &[(CellIndex, f64)] {
+        &self.rows[i]
+    }
+
+    /// All rows; the plain-data form consumed by `bbsim-stats::moran`.
+    pub fn rows(&self) -> &[Vec<(CellIndex, f64)>] {
+        &self.rows
+    }
+
+    /// Sum of all weights (equals the number of non-isolated cells for
+    /// row-standardized weights).
+    pub fn total_weight(&self) -> f64 {
+        self.rows.iter().flatten().map(|&(_, w)| w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::LatLon;
+
+    fn grid() -> CityGrid {
+        CityGrid::grow(LatLon::new(29.95, -90.07), 120, 22, 71, 3)
+    }
+
+    #[test]
+    fn rook_adjacency_is_symmetric() {
+        let g = grid();
+        let adj = Adjacency::from_grid(&g, Contiguity::Rook);
+        for i in 0..adj.len() {
+            for &j in adj.neighbors(i) {
+                assert!(adj.neighbors(j).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn queen_has_at_least_as_many_edges_as_rook() {
+        let g = grid();
+        let rook = Adjacency::from_grid(&g, Contiguity::Rook);
+        let queen = Adjacency::from_grid(&g, Contiguity::Queen);
+        assert!(queen.edge_count() >= rook.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn from_lists_rejects_asymmetry() {
+        Adjacency::from_lists(vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    fn row_standardized_rows_sum_to_one() {
+        let g = grid();
+        let adj = Adjacency::from_grid(&g, Contiguity::Rook);
+        let w = SpatialWeights::row_standardized(&adj);
+        for i in 0..w.len() {
+            let s: f64 = w.row(i).iter().map(|&(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn total_weight_equals_cell_count_when_connected() {
+        let g = grid();
+        let adj = Adjacency::from_grid(&g, Contiguity::Rook);
+        let w = SpatialWeights::row_standardized(&adj);
+        assert!((w.total_weight() - g.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_cell_gets_empty_row() {
+        let adj = Adjacency::from_lists(vec![vec![1], vec![0], vec![]]);
+        let w = SpatialWeights::row_standardized(&adj);
+        assert!(w.row(2).is_empty());
+        assert!((w.total_weight() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_rows_rejects_negative_weight() {
+        SpatialWeights::from_rows(vec![vec![(0, -1.0)]]);
+    }
+}
+
+impl SpatialWeights {
+    /// K-nearest-neighbour weights by centroid distance, row-standardized.
+    ///
+    /// A standard alternative to contiguity weights for irregular
+    /// geographies; used by the Table-3 robustness checks. Each cell gets
+    /// exactly `k` neighbours (fewer only in degenerate, tiny cities).
+    pub fn knn(grid: &crate::grid::CityGrid, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let n = grid.len();
+        let centroids: Vec<crate::point::LatLon> = (0..n).map(|i| grid.centroid(i)).collect();
+        let rows = (0..n)
+            .map(|i| {
+                let mut dists: Vec<(usize, f64)> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| (j, centroids[i].distance_km(&centroids[j])))
+                    .collect();
+                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+                dists.truncate(k);
+                let w = 1.0 / dists.len().max(1) as f64;
+                dists.into_iter().map(|(j, _)| (j, w)).collect()
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// Distance-band weights: cells within `band_km` of each other are
+    /// neighbours (row-standardized). Cells with no neighbour in the band
+    /// get an empty row.
+    pub fn distance_band(grid: &crate::grid::CityGrid, band_km: f64) -> Self {
+        assert!(band_km > 0.0, "band must be positive");
+        let n = grid.len();
+        let centroids: Vec<crate::point::LatLon> = (0..n).map(|i| grid.centroid(i)).collect();
+        let rows = (0..n)
+            .map(|i| {
+                let ns: Vec<usize> = (0..n)
+                    .filter(|&j| j != i && centroids[i].distance_km(&centroids[j]) <= band_km)
+                    .collect();
+                if ns.is_empty() {
+                    Vec::new()
+                } else {
+                    let w = 1.0 / ns.len() as f64;
+                    ns.into_iter().map(|j| (j, w)).collect()
+                }
+            })
+            .collect();
+        Self { rows }
+    }
+}
+
+#[cfg(test)]
+mod distance_weight_tests {
+    use super::*;
+    use crate::grid::CityGrid;
+    use crate::point::LatLon;
+
+    fn grid() -> CityGrid {
+        CityGrid::grow(LatLon::new(29.95, -90.07), 80, 22, 71, 5)
+    }
+
+    #[test]
+    fn knn_rows_have_exactly_k_neighbors() {
+        let g = grid();
+        let w = SpatialWeights::knn(&g, 4);
+        for i in 0..w.len() {
+            assert_eq!(w.row(i).len(), 4, "cell {i}");
+            let s: f64 = w.row(i).iter().map(|&(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_neighbors_are_the_nearest() {
+        let g = grid();
+        let w = SpatialWeights::knn(&g, 1);
+        // The single nearest neighbour of a cell is at lattice distance 1
+        // (the grid is connected, so someone is adjacent).
+        for i in 0..g.len() {
+            let (x, y) = g.coord(i);
+            let &(j, _) = &w.row(i)[0];
+            let (nx, ny) = g.coord(j);
+            let d = (x - nx).abs() + (y - ny).abs();
+            assert_eq!(d, 1, "cell {i}'s nearest neighbour is adjacent");
+        }
+    }
+
+    #[test]
+    fn distance_band_includes_rook_neighbors() {
+        let g = grid();
+        // 1.5 km band covers lattice distance 1 (cells are 1 km apart).
+        let w = SpatialWeights::distance_band(&g, 1.5);
+        for i in 0..g.len() {
+            let cols: Vec<usize> = w.row(i).iter().map(|&(j, _)| j).collect();
+            for j in g.rook_neighbors(i) {
+                assert!(cols.contains(&j), "cell {i} missing rook neighbour {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_band_yields_isolates_and_wide_band_connects_all() {
+        let g = grid();
+        let tight = SpatialWeights::distance_band(&g, 0.1);
+        assert!((0..g.len()).all(|i| tight.row(i).is_empty()));
+        let wide = SpatialWeights::distance_band(&g, 1000.0);
+        for i in 0..g.len() {
+            assert_eq!(wide.row(i).len(), g.len() - 1);
+        }
+    }
+
+    #[test]
+    fn morans_i_direction_is_stable_across_weight_choices() {
+        // A clustered field is detected as clustered under contiguity, knn
+        // and distance-band weights alike.
+        let g = grid();
+        let values: Vec<f64> = (0..g.len())
+            .map(|i| if g.coord(i).0 < 0 { 1.0 } else { 9.0 })
+            .collect();
+        let contiguity =
+            SpatialWeights::row_standardized(&Adjacency::from_grid(&g, Contiguity::Rook));
+        let knn = SpatialWeights::knn(&g, 4);
+        let band = SpatialWeights::distance_band(&g, 1.5);
+        for (name, w) in [("rook", contiguity), ("knn", knn), ("band", band)] {
+            let r = bbsim_stats::morans_i(&values, w.rows()).unwrap();
+            assert!(r.i > 0.4, "{name}: I = {}", r.i);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests over city-grid construction and spatial weights.
+
+use bbsim_geo::{Adjacency, BoundingBox, CityGrid, Contiguity, LatLon, SpatialWeights};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any grown city is connected, has the requested size, unique GEOIDs,
+    /// and symmetric adjacency.
+    #[test]
+    fn grown_cities_are_well_formed(
+        n in 1usize..400,
+        seed in any::<u64>(),
+        state in 1u8..=99,
+        county in 1u16..=999,
+    ) {
+        let g = CityGrid::grow(LatLon::new(35.0, -100.0), n, state, county, seed);
+        prop_assert_eq!(g.len(), n);
+
+        // Unique ids.
+        let mut ids: Vec<_> = g.ids().to_vec();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+
+        // Connectivity via rook adjacency.
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for j in g.rook_neighbors(i) {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+
+        // Adjacency symmetry and row-standardized weights.
+        let adj = Adjacency::from_grid(&g, Contiguity::Rook);
+        for i in 0..n {
+            for &j in adj.neighbors(i) {
+                prop_assert!(adj.neighbors(j).contains(&i));
+            }
+        }
+        let w = SpatialWeights::row_standardized(&adj);
+        for i in 0..n {
+            let s: f64 = w.row(i).iter().map(|&(_, v)| v).sum();
+            if !adj.neighbors(i).is_empty() {
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Radial position is always normalized and zero at the origin cell.
+    #[test]
+    fn radial_position_is_normalized(n in 1usize..200, seed in any::<u64>()) {
+        let g = CityGrid::grow(LatLon::new(0.0, 0.0), n, 1, 1, seed);
+        prop_assert_eq!(g.radial_position(0), 0.0);
+        for i in 0..g.len() {
+            let r = g.radial_position(i);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    /// Haversine distance is a symmetric, non-negative function with
+    /// identity at zero; centroids stay inside a sane bounding box.
+    #[test]
+    fn distances_behave(
+        lat1 in -80.0f64..80.0, lon1 in -170.0f64..170.0,
+        lat2 in -80.0f64..80.0, lon2 in -170.0f64..170.0,
+    ) {
+        let a = LatLon::new(lat1, lon1);
+        let b = LatLon::new(lat2, lon2);
+        let d = a.distance_km(&b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - b.distance_km(&a)).abs() < 1e-9);
+        prop_assert!(a.distance_km(&a) < 1e-9);
+        // No two points on Earth are farther than half the circumference.
+        prop_assert!(d <= 20_040.0);
+    }
+
+    /// A covering bounding box contains all its points and its own centre.
+    #[test]
+    fn bounding_boxes_cover(points in proptest::collection::vec((-80.0f64..80.0, -170.0f64..170.0), 1..40)) {
+        let pts: Vec<LatLon> = points.iter().map(|&(la, lo)| LatLon::new(la, lo)).collect();
+        let bb = BoundingBox::covering(pts.iter().copied()).expect("non-empty");
+        for p in &pts {
+            prop_assert!(bb.contains(p));
+        }
+        prop_assert!(bb.contains(&bb.center()));
+    }
+}

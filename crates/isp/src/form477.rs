@@ -1,0 +1,168 @@
+//! ISP self-reported availability data (FCC Form 477 style).
+//!
+//! The paper's background and recommendations lean on a known defect of
+//! regulator-collected availability data: ISPs self-report a whole census
+//! block as served if *any* location in it is serviceable, at the *maximum
+//! advertised* speed tier — systematically overstating both coverage and
+//! speed (Major et al. IMC '20; the paper's recommendation 2 calls for
+//! third-party audits). This module generates each ISP's self-report from
+//! the same hidden world the BATs serve, so the audit experiment can
+//! measure the overstatement exactly.
+
+use crate::isp::Isp;
+use crate::plans::{catalog, Tech};
+use crate::world::CityWorld;
+use bbsim_geo::BlockGroupId;
+
+/// One self-reported row: what the ISP files for one block group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Form477Row {
+    pub isp: Isp,
+    pub block_group: BlockGroupId,
+    pub bg_index: usize,
+    /// Self-reported maximum advertised download speed (Mbps).
+    pub max_download_mbps: f64,
+    /// Self-reported maximum advertised upload speed (Mbps).
+    pub max_upload_mbps: f64,
+    /// Reported technology code (fiber beats DSL when any address has it).
+    pub technology: Tech,
+}
+
+/// An ISP's complete self-report for one city.
+#[derive(Debug, Clone)]
+pub struct Form477Report {
+    pub isp: Isp,
+    pub city: String,
+    pub rows: Vec<Form477Row>,
+}
+
+impl Form477Report {
+    /// Files the report the way ISPs actually file: a block group is
+    /// claimed served if *any* address in it can get service, and the
+    /// speed claimed is the ISP's maximum advertised tier there — even if
+    /// most addresses only qualify for far less.
+    pub fn file(world: &CityWorld, isp: Isp) -> Self {
+        let grid = world.grid();
+        let db = world.addresses();
+        let mut rows = Vec::new();
+        for bg in 0..grid.len() {
+            let mut best_down: f64 = 0.0;
+            let mut best_up: f64 = 0.0;
+            let mut any_served = false;
+            let mut any_fiber = false;
+            for &i in db.in_block_group(bg) {
+                let offered = world.plans_at(isp, &db.records()[i]);
+                if offered.plans.is_empty() {
+                    continue;
+                }
+                any_served = true;
+                for p in &offered.plans {
+                    best_down = best_down.max(p.download_mbps);
+                    best_up = best_up.max(p.upload_mbps);
+                    any_fiber |= p.tech == Tech::Fiber;
+                }
+            }
+            if !any_served {
+                continue;
+            }
+            // The filing inflates to the ISP's top advertised tier for the
+            // reported technology, not the best actually-available plan.
+            let tech = if any_fiber {
+                Tech::Fiber
+            } else if isp.is_cable() {
+                Tech::Cable
+            } else {
+                Tech::Dsl
+            };
+            let advertised_max = catalog(isp)
+                .iter()
+                .filter(|p| p.tech == tech)
+                .map(|p| p.download_mbps)
+                .fold(best_down, f64::max);
+            rows.push(Form477Row {
+                isp,
+                block_group: grid.id(bg),
+                bg_index: bg,
+                max_download_mbps: advertised_max,
+                max_upload_mbps: best_up,
+                technology: tech,
+            });
+        }
+        Form477Report {
+            isp,
+            city: world.city().name.to_string(),
+            rows,
+        }
+    }
+
+    /// Fraction of the city's block groups the filing claims as served.
+    pub fn claimed_coverage(&self, total_block_groups: usize) -> f64 {
+        self.rows.len() as f64 / total_block_groups as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_census::city_by_name;
+
+    fn world() -> CityWorld {
+        CityWorld::build(city_by_name("Billings").expect("study city"))
+    }
+
+    #[test]
+    fn filing_covers_every_served_block_group() {
+        let w = world();
+        let report = Form477Report::file(&w, Isp::Spectrum);
+        // Cable serves ~the whole city.
+        assert!(report.claimed_coverage(w.grid().len()) > 0.9);
+    }
+
+    #[test]
+    fn claims_inflate_to_the_top_advertised_tier() {
+        let w = world();
+        let report = Form477Report::file(&w, Isp::CenturyLink);
+        let top_fiber = catalog(Isp::CenturyLink)
+            .iter()
+            .filter(|p| p.tech == Tech::Fiber)
+            .map(|p| p.download_mbps)
+            .fold(f64::MIN, f64::max);
+        let fiber_rows: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.technology == Tech::Fiber)
+            .collect();
+        assert!(!fiber_rows.is_empty());
+        for r in fiber_rows {
+            assert_eq!(r.max_download_mbps, top_fiber, "bg {}", r.bg_index);
+        }
+    }
+
+    #[test]
+    fn dsl_only_groups_report_dsl_technology() {
+        let w = world();
+        let report = Form477Report::file(&w, Isp::CenturyLink);
+        assert!(report.rows.iter().any(|r| r.technology == Tech::Dsl));
+        assert!(report.rows.iter().all(|r| r.technology != Tech::Cable));
+    }
+
+    #[test]
+    fn unserved_block_groups_are_absent() {
+        let w = world();
+        let report = Form477Report::file(&w, Isp::CenturyLink);
+        let dep = w.deployment(Isp::CenturyLink).expect("active ISP");
+        for r in &report.rows {
+            assert_ne!(
+                dep.tech(r.bg_index),
+                crate::deployment::TechAtBlockGroup::NotServed
+            );
+        }
+    }
+
+    #[test]
+    fn filings_are_deterministic() {
+        let a = Form477Report::file(&world(), Isp::Spectrum);
+        let b = Form477Report::file(&world(), Isp::Spectrum);
+        assert_eq!(a.rows, b.rows);
+    }
+}

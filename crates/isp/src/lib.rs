@@ -1,0 +1,35 @@
+//! ISP world model: the generative ground truth that the BAT servers serve
+//! and BQT measures.
+//!
+//! The real ground truth — where each ISP deployed fiber, which plans it
+//! offers at which address, and how it prices against local competition —
+//! is proprietary. This crate rebuilds it generatively, with knobs set from
+//! the paper's own background section (§2) and evaluation:
+//!
+//! * [`isp`] — the seven major ISPs and their technology category;
+//! * [`plans`] — Table-1 plan catalogs: the fixed per-ISP plan menus whose
+//!   per-address subsets produce every carriage value in the paper;
+//! * [`deployment`] — who gets fiber: income-biased, spatially smoothed
+//!   block-group assignment (the mechanism behind §5.3 and §5.5);
+//! * [`pricing`] — cable tier geography and competition response: promo
+//!   tiers are spatially clustered, and the competitive high-cv tier appears
+//!   exactly where a fiber rival deployed (§5.4);
+//! * [`world`] — the assembled per-city world: one call builds grid, income
+//!   field, demographics, address inventory and per-ISP offerings.
+//!
+//! Nothing downstream of the BAT servers may read this crate's internals:
+//! the analysis pipeline sees only what BQT scraped off the wire.
+
+pub mod deployment;
+pub mod form477;
+pub mod isp;
+pub mod plans;
+pub mod pricing;
+pub mod world;
+
+pub use deployment::{Deployment, TechAtBlockGroup};
+pub use form477::{Form477Report, Form477Row};
+pub use isp::{Isp, Technology, ALL_ISPS};
+pub use plans::{catalog, Plan, Tech};
+pub use pricing::{CablePricing, CableTier};
+pub use world::{CityWorld, OfferedPlans};

@@ -1,0 +1,170 @@
+//! Virtual time: monotone simulated instants and durations.
+//!
+//! All pipeline timing (page waits, query resolution times, rate-limit
+//! windows) is expressed in virtual milliseconds. This keeps every
+//! experiment deterministic and lets Fig. 2b report "seconds" that mean the
+//! same thing on every run.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulated timeline, in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Duration since an earlier instant. Panics if `earlier` is later —
+    /// virtual time never runs backwards, so that is always a logic error.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            self >= earlier,
+            "time went backwards: {self:?} < {earlier:?}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Converts a fractional seconds value, saturating negatives to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1000.0).round() as u64)
+    }
+
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        self.since(earlier)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::ZERO + SimDuration::from_secs(3) + SimDuration::from_millis(250);
+        assert_eq!(t.as_millis(), 3250);
+        assert_eq!(t.as_secs_f64(), 3.25);
+    }
+
+    #[test]
+    fn since_measures_span() {
+        let a = SimTime::from_millis(1000);
+        let b = SimTime::from_millis(4500);
+        assert_eq!(b.since(a).as_millis(), 3500);
+        assert_eq!((b - a).as_secs_f64(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_on_backwards_time() {
+        SimTime::from_millis(1).since(SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_saturates() {
+        assert_eq!(SimDuration::from_secs_f64(1.2345).as_millis(), 1235);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(25);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a).as_millis(), 15);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "t+1.500s");
+        assert_eq!(SimDuration::from_millis(27_000).to_string(), "27.000s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(5) < SimTime::from_millis(6));
+        assert!(SimDuration::from_secs(1) > SimDuration::from_millis(999));
+    }
+}

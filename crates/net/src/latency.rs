@@ -1,0 +1,138 @@
+//! Latency models for simulated endpoints.
+//!
+//! Web page loads are right-skewed: most renders land near the median with a
+//! long slow tail. We model each delay source as a lognormal distribution
+//! parameterized by its median and a tail-heaviness factor, which matches the
+//! per-ISP render-time distributions BQT observed (Fig. 2b) well enough to
+//! reproduce their orderings and spreads.
+
+use crate::clock::SimDuration;
+use rand::Rng;
+
+/// A right-skewed delay distribution (lognormal), sampled in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Median delay in milliseconds (the lognormal scale, e^μ).
+    median_ms: f64,
+    /// Log-space standard deviation σ; 0 gives a constant delay, 0.3–0.6 is
+    /// a typical web-page spread.
+    sigma: f64,
+}
+
+impl LatencyModel {
+    /// Builds a model from its median delay and log-space σ.
+    pub fn new(median: SimDuration, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        Self {
+            median_ms: median.as_millis() as f64,
+            sigma,
+        }
+    }
+
+    /// A degenerate model that always returns `d`.
+    pub fn constant(d: SimDuration) -> Self {
+        Self::new(d, 0.0)
+    }
+
+    pub fn median(&self) -> SimDuration {
+        SimDuration::from_millis(self.median_ms as u64)
+    }
+
+    /// Draws one delay.
+    ///
+    /// Uses Box–Muller on two uniform draws, so the sample stream is
+    /// reproducible for a seeded `rng`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        if self.sigma == 0.0 {
+            return SimDuration::from_millis(self.median_ms as u64);
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let ms = self.median_ms * (self.sigma * z).exp();
+        SimDuration::from_millis(ms.round().max(0.0) as u64)
+    }
+
+    /// The model's mean delay, `median * exp(σ²/2)`.
+    pub fn mean(&self) -> SimDuration {
+        let ms = self.median_ms * (self.sigma * self.sigma / 2.0).exp();
+        SimDuration::from_millis(ms.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_model_always_returns_median() {
+        let m = LatencyModel::constant(SimDuration::from_millis(42));
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng).as_millis(), 42);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let m = LatencyModel::new(SimDuration::from_secs(30), 0.4);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| m.sample(&mut rng).as_millis()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| m.sample(&mut rng).as_millis()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empirical_median_matches_parameter() {
+        let m = LatencyModel::new(SimDuration::from_millis(1000), 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs: Vec<u64> = (0..4000).map(|_| m.sample(&mut rng).as_millis()).collect();
+        xs.sort_unstable();
+        let med = xs[xs.len() / 2] as f64;
+        assert!((med - 1000.0).abs() < 80.0, "median = {med}");
+    }
+
+    #[test]
+    fn distribution_is_right_skewed() {
+        let m = LatencyModel::new(SimDuration::from_millis(1000), 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..4000)
+            .map(|_| m.sample(&mut rng).as_millis() as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = sorted[sorted.len() / 2];
+        assert!(
+            mean > med,
+            "lognormal mean ({mean}) should exceed median ({med})"
+        );
+    }
+
+    #[test]
+    fn mean_formula_matches_samples() {
+        let m = LatencyModel::new(SimDuration::from_millis(2000), 0.4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let s: f64 = (0..n).map(|_| m.sample(&mut rng).as_millis() as f64).sum();
+        let emp_mean = s / n as f64;
+        let model_mean = m.mean().as_millis() as f64;
+        assert!(
+            (emp_mean - model_mean).abs() / model_mean < 0.05,
+            "empirical {emp_mean} vs model {model_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_rejected() {
+        LatencyModel::new(SimDuration::from_millis(1), -0.1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulated-network substrate for the Decoding-the-Divide reproduction.
+//!
+//! The paper's measurements run over the live web: a Selenium client talks to
+//! ISP web servers through a pool of residential IPs. None of that substrate
+//! is available offline, so this crate rebuilds the pieces the measurement
+//! pipeline actually exercises, in the sans-IO, event-driven style of
+//! embedded TCP/IP stacks:
+//!
+//! * **virtual time** ([`clock`]) — all latencies are in simulated
+//!   milliseconds, so "query resolution time" (Fig. 2b) is measured, not
+//!   asserted, and fully reproducible;
+//! * **latency models** ([`latency`]) — lognormal service/network delays
+//!   parameterized per endpoint;
+//! * **framing** ([`frame`]) — a length-prefixed codec over [`bytes`]
+//!   buffers, the wire form of every simulated exchange;
+//! * **HTTP-lite** ([`http`]) — a small request/response message layer with
+//!   headers, cookies and status codes, round-trippable through the framing
+//!   codec;
+//! * **IP pool** ([`ip`]) — the residential-proxy pool analogue, with
+//!   rotation policies;
+//! * **event queue** ([`sim`]) — a discrete-event scheduler used by the
+//!   orchestrator to interleave many concurrent "containers" on one virtual
+//!   timeline;
+//! * **transport** ([`transport`]) — the endpoint registry binding client
+//!   requests to server services, accounting for network + processing time.
+//!
+//! Determinism: every random draw flows from a caller-provided seed.
+
+pub mod clock;
+pub mod frame;
+pub mod http;
+pub mod ip;
+pub mod latency;
+pub mod sim;
+pub mod transport;
+
+pub use clock::{SimDuration, SimTime};
+pub use frame::{FrameCodec, FrameError};
+pub use http::{Method, Request, Response, Status};
+pub use ip::{IpPool, RotationPolicy, SimIp};
+pub use latency::LatencyModel;
+pub use sim::EventQueue;
+pub use transport::{Endpoint, Exchange, Service, Transport};

@@ -1,0 +1,293 @@
+//! The endpoint registry binding clients to simulated servers.
+//!
+//! A [`Transport`] owns named [`Endpoint`]s, each pairing a [`Service`]
+//! implementation (the server's state machine) with a network latency model.
+//! `round_trip` carries a request to the server and its response back,
+//! charging request-leg latency, server processing time and response-leg
+//! latency on the virtual clock. Every message really is serialized through
+//! the framing codec and wire format — the server parses what the client
+//! sent, not a shared in-memory object — so protocol bugs surface here, not
+//! in production figures.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::frame::FrameCodec;
+use crate::http::{Request, Response};
+use crate::ip::SimIp;
+use crate::latency::LatencyModel;
+use bytes::BytesMut;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a service returns for one request: the response plus how long the
+/// server spent producing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exchange {
+    pub response: Response,
+    pub processing: SimDuration,
+}
+
+/// A simulated server: a deterministic state machine fed parsed requests.
+pub trait Service {
+    /// Handles one request arriving from `peer` at virtual time `now`.
+    ///
+    /// `rng` is the transport's seeded stream; services draw processing
+    /// times and template randomness from it so runs stay reproducible.
+    fn handle(&mut self, peer: SimIp, req: &Request, now: SimTime, rng: &mut StdRng) -> Exchange;
+}
+
+/// A registered server endpoint.
+pub struct Endpoint {
+    service: Box<dyn Service + Send>,
+    /// One-way network latency between any client and this endpoint.
+    network: LatencyModel,
+}
+
+impl Endpoint {
+    pub fn new(service: Box<dyn Service + Send>, network: LatencyModel) -> Self {
+        Self { service, network }
+    }
+}
+
+/// Transport-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No endpoint registered under this name.
+    UnknownEndpoint(String),
+    /// The peer's bytes did not parse as a wire message.
+    Garbled(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownEndpoint(n) => write!(f, "no endpoint named {n:?}"),
+            TransportError::Garbled(e) => write!(f, "garbled wire message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The simulated network: endpoints plus a seeded randomness stream.
+pub struct Transport {
+    endpoints: HashMap<String, Endpoint>,
+    rng: StdRng,
+    codec: FrameCodec,
+}
+
+impl Transport {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            endpoints: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            codec: FrameCodec,
+        }
+    }
+
+    /// Registers (or replaces) an endpoint under `name`.
+    pub fn register(&mut self, name: impl Into<String>, endpoint: Endpoint) {
+        self.endpoints.insert(name.into(), endpoint);
+    }
+
+    pub fn has_endpoint(&self, name: &str) -> bool {
+        self.endpoints.contains_key(name)
+    }
+
+    /// Sends `req` from `src` to `endpoint` at virtual time `now`.
+    ///
+    /// Returns the parsed response and the full round-trip duration
+    /// (request leg + server processing + response leg).
+    pub fn round_trip(
+        &mut self,
+        endpoint: &str,
+        src: SimIp,
+        req: &Request,
+        now: SimTime,
+    ) -> Result<(Response, SimDuration), TransportError> {
+        let ep = self
+            .endpoints
+            .get_mut(endpoint)
+            .ok_or_else(|| TransportError::UnknownEndpoint(endpoint.to_string()))?;
+
+        // Request leg: encode, frame, decode, parse — the server sees only
+        // what survived the wire.
+        let mut buf = BytesMut::new();
+        self.codec.encode(req.to_wire().as_bytes(), &mut buf);
+        let frame = self
+            .codec
+            .decode(&mut buf)
+            .map_err(|e| TransportError::Garbled(e.to_string()))?
+            .expect("frame just encoded is complete");
+        let wire =
+            std::str::from_utf8(&frame).map_err(|e| TransportError::Garbled(e.to_string()))?;
+        let parsed_req =
+            Request::from_wire(wire).map_err(|e| TransportError::Garbled(e.to_string()))?;
+
+        let leg_out = ep.network.sample(&mut self.rng);
+        let arrival = now + leg_out;
+        let Exchange {
+            response,
+            processing,
+        } = ep.service.handle(src, &parsed_req, arrival, &mut self.rng);
+
+        // Response leg through the same codec path.
+        let mut rbuf = BytesMut::new();
+        self.codec.encode(response.to_wire().as_bytes(), &mut rbuf);
+        let rframe = self
+            .codec
+            .decode(&mut rbuf)
+            .map_err(|e| TransportError::Garbled(e.to_string()))?
+            .expect("frame just encoded is complete");
+        let rwire =
+            std::str::from_utf8(&rframe).map_err(|e| TransportError::Garbled(e.to_string()))?;
+        let parsed_resp =
+            Response::from_wire(rwire).map_err(|e| TransportError::Garbled(e.to_string()))?;
+
+        let leg_back = ep.network.sample(&mut self.rng);
+        Ok((parsed_resp, leg_out + processing + leg_back))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Method, Status};
+
+    /// Echoes the request body back, with a fixed processing time.
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(
+            &mut self,
+            peer: SimIp,
+            req: &Request,
+            _now: SimTime,
+            _rng: &mut StdRng,
+        ) -> Exchange {
+            Exchange {
+                response: Response::ok(format!("{} said: {}", peer, req.body)),
+                processing: SimDuration::from_millis(100),
+            }
+        }
+    }
+
+    /// Counts requests; used to show server state persists across calls.
+    struct Counter(u32);
+
+    impl Service for Counter {
+        fn handle(&mut self, _: SimIp, _: &Request, _: SimTime, _: &mut StdRng) -> Exchange {
+            self.0 += 1;
+            Exchange {
+                response: Response::ok(self.0.to_string()),
+                processing: SimDuration::ZERO,
+            }
+        }
+    }
+
+    fn client_ip() -> SimIp {
+        SimIp(u32::from_be_bytes([100, 64, 0, 1]))
+    }
+
+    #[test]
+    fn round_trip_delivers_parsed_messages() {
+        let mut t = Transport::new(1);
+        t.register(
+            "att",
+            Endpoint::new(
+                Box::new(Echo),
+                LatencyModel::constant(SimDuration::from_millis(50)),
+            ),
+        );
+        let req = Request::post("/check", "hello");
+        let (resp, elapsed) = t
+            .round_trip("att", client_ip(), &req, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, "100.64.0.1 said: hello");
+        // 50 out + 100 processing + 50 back.
+        assert_eq!(elapsed.as_millis(), 200);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error() {
+        let mut t = Transport::new(1);
+        let err = t
+            .round_trip("verizon", client_ip(), &Request::get("/"), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, TransportError::UnknownEndpoint(_)));
+    }
+
+    #[test]
+    fn server_state_persists_between_requests() {
+        let mut t = Transport::new(2);
+        t.register(
+            "cox",
+            Endpoint::new(
+                Box::new(Counter(0)),
+                LatencyModel::constant(SimDuration::ZERO),
+            ),
+        );
+        for expect in 1..=3 {
+            let (resp, _) = t
+                .round_trip("cox", client_ip(), &Request::get("/"), SimTime::ZERO)
+                .unwrap();
+            assert_eq!(resp.body, expect.to_string());
+        }
+    }
+
+    #[test]
+    fn latency_variance_flows_from_transport_seed() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut t = Transport::new(seed);
+            t.register(
+                "isp",
+                Endpoint::new(
+                    Box::new(Echo),
+                    LatencyModel::new(SimDuration::from_millis(500), 0.5),
+                ),
+            );
+            (0..10)
+                .map(|_| {
+                    t.round_trip("isp", client_ip(), &Request::get("/"), SimTime::ZERO)
+                        .unwrap()
+                        .1
+                        .as_millis()
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same timings");
+        assert_ne!(run(7), run(8), "different seed, different timings");
+    }
+
+    #[test]
+    fn request_method_survives_the_wire() {
+        struct AssertPost;
+        impl Service for AssertPost {
+            fn handle(&mut self, _: SimIp, req: &Request, _: SimTime, _: &mut StdRng) -> Exchange {
+                assert_eq!(req.method, Method::Post);
+                assert_eq!(req.path, "/submit");
+                Exchange {
+                    response: Response::new(Status::Ok),
+                    processing: SimDuration::ZERO,
+                }
+            }
+        }
+        let mut t = Transport::new(3);
+        t.register(
+            "x",
+            Endpoint::new(
+                Box::new(AssertPost),
+                LatencyModel::constant(SimDuration::ZERO),
+            ),
+        );
+        t.round_trip(
+            "x",
+            client_ip(),
+            &Request::post("/submit", "a=1"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests over the simulated-network substrate.
+
+use bbsim_net::{EventQueue, IpPool, LatencyModel, RotationPolicy, SimDuration, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Virtual-time arithmetic is consistent: advancing then measuring
+    /// returns the advance.
+    #[test]
+    fn time_arithmetic_roundtrips(start in 0u64..1_000_000, delta in 0u64..1_000_000) {
+        let t0 = SimTime::from_millis(start);
+        let d = SimDuration::from_millis(delta);
+        let t1 = t0 + d;
+        prop_assert_eq!(t1.since(t0), d);
+        prop_assert_eq!(t1 - t0, d);
+        prop_assert!(t1 >= t0);
+    }
+
+    /// The event queue is a stable priority queue: events pop in time
+    /// order, ties in insertion order, nothing is lost.
+    #[test]
+    fn event_queue_is_a_stable_pq(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_millis(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stable tie-break");
+            }
+        }
+    }
+
+    /// Latency samples are deterministic per seed and non-negative, and a
+    /// zero-sigma model is exactly its median.
+    #[test]
+    fn latency_model_properties(median_ms in 1u64..100_000, sigma in 0.0f64..1.0, seed in any::<u64>()) {
+        let m = LatencyModel::new(SimDuration::from_millis(median_ms), sigma);
+        let s1: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| m.sample(&mut rng).as_millis()).collect()
+        };
+        let s2: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| m.sample(&mut rng).as_millis()).collect()
+        };
+        prop_assert_eq!(&s1, &s2);
+        let constant = LatencyModel::constant(SimDuration::from_millis(median_ms));
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(constant.sample(&mut rng).as_millis(), median_ms);
+    }
+
+    /// IP pools of any size hold distinct carrier-grade-NAT addresses, and
+    /// round-robin visits all of them before repeating.
+    #[test]
+    fn ip_pools_are_distinct_and_fair(size in 1usize..300, seed in any::<u64>()) {
+        let mut pool = IpPool::residential(size, RotationPolicy::RoundRobin, seed);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..size {
+            prop_assert!(seen.insert(pool.next()), "duplicate before full cycle");
+        }
+        // Next draw revisits the first address.
+        let first = *pool.addrs().first().expect("non-empty");
+        prop_assert_eq!(pool.next(), first);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The wire parsers never panic on arbitrary input; they either parse
+    /// or return a typed error.
+    #[test]
+    fn wire_parsers_never_panic(text in "[ -~\\n\\t]{0,400}") {
+        let _ = bbsim_net::Request::from_wire(&text);
+        let _ = bbsim_net::Response::from_wire(&text);
+    }
+
+    /// Whatever a request parses to, re-serializing and re-parsing is a
+    /// fixed point (parser/serializer agreement).
+    #[test]
+    fn accepted_requests_are_fixed_points(text in "(GET|POST) /[a-z]{0,10} BQT/1\\n(cookie: [a-z0-9=]{0,20}\\n)?\\n[ -~]{0,100}") {
+        if let Ok(req) = bbsim_net::Request::from_wire(&text) {
+            let again = bbsim_net::Request::from_wire(&req.to_wire()).expect("own output parses");
+            prop_assert_eq!(again, req);
+        }
+    }
+}

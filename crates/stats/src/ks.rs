@@ -1,0 +1,208 @@
+//! Two-sample Kolmogorov–Smirnov tests.
+//!
+//! The paper (§5.4) runs *one-tailed* two-sample KS tests to decide whether a
+//! cable ISP's carriage-value distribution in duopoly block groups
+//! stochastically dominates the distribution in monopoly block groups. We
+//! implement both one-tailed directions and the two-sided test.
+//!
+//! P-values use the standard asymptotic forms: for the one-sided statistic
+//! `D⁺`, `p ≈ exp(-2 m D⁺²)` with `m = n₁n₂/(n₁+n₂)`; for the two-sided
+//! statistic, the Kolmogorov survival function with the
+//! Marsaglia–Tsang–Wang-style small-sample correction
+//! `λ = (√m + 0.12 + 0.11/√m)·D`.
+
+use crate::special::kolmogorov_sf;
+
+/// Which tail of the one-sided test to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// `D⁺ = sup_x (F₁(x) − F₂(x))`: large when sample 1 sits at *smaller*
+    /// values than sample 2 (its CDF is above). Rejecting H0 supports
+    /// "sample 2 is stochastically greater than sample 1".
+    Greater,
+    /// `D⁻ = sup_x (F₂(x) − F₁(x))`: the mirror image.
+    Less,
+}
+
+/// Result of a KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// The KS statistic (D, D⁺ or D⁻ depending on the test).
+    pub statistic: f64,
+    /// Asymptotic p-value.
+    pub p_value: f64,
+    pub n1: usize,
+    pub n2: usize,
+}
+
+impl KsOutcome {
+    /// True when the null hypothesis is rejected at level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Computes `(D⁺, D⁻)`: the maximum signed deviations between the two
+/// empirical CDFs, walking the merged sorted samples in one pass.
+fn ks_deviations(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let mut a: Vec<f64> = xs.to_vec();
+    let mut b: Vec<f64> = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut d_plus, mut d_minus) = (0.0f64, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let t = a[i].min(b[j]);
+        while i < a.len() && a[i] <= t {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= t {
+            j += 1;
+        }
+        let f1 = i as f64 / n1;
+        let f2 = j as f64 / n2;
+        d_plus = d_plus.max(f1 - f2);
+        d_minus = d_minus.max(f2 - f1);
+    }
+    (d_plus, d_minus)
+}
+
+/// Two-sided two-sample KS test. Panics on an empty sample (the statistic is
+/// undefined).
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> KsOutcome {
+    assert!(
+        !xs.is_empty() && !ys.is_empty(),
+        "KS test needs non-empty samples"
+    );
+    let (d_plus, d_minus) = ks_deviations(xs, ys);
+    let d = d_plus.max(d_minus);
+    let m = (xs.len() * ys.len()) as f64 / (xs.len() + ys.len()) as f64;
+    let lambda = (m.sqrt() + 0.12 + 0.11 / m.sqrt()) * d;
+    KsOutcome {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        n1: xs.len(),
+        n2: ys.len(),
+    }
+}
+
+/// One-tailed two-sample KS test.
+///
+/// With `Tail::Greater`, the alternative hypothesis is that `ys` is
+/// stochastically greater than `xs` (i.e. the CDF of `xs` lies above);
+/// with `Tail::Less`, the reverse.
+pub fn ks_one_tailed(xs: &[f64], ys: &[f64], tail: Tail) -> KsOutcome {
+    assert!(
+        !xs.is_empty() && !ys.is_empty(),
+        "KS test needs non-empty samples"
+    );
+    let (d_plus, d_minus) = ks_deviations(xs, ys);
+    let d = match tail {
+        Tail::Greater => d_plus,
+        Tail::Less => d_minus,
+    };
+    let m = (xs.len() * ys.len()) as f64 / (xs.len() + ys.len()) as f64;
+    let p = (-2.0 * m * d * d).exp().clamp(0.0, 1.0);
+    KsOutcome {
+        statistic: d,
+        p_value: p,
+        n1: xs.len(),
+        n2: ys.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs = linspace(0.0, 1.0, 50);
+        let out = ks_two_sample(&xs, &xs);
+        assert_eq!(out.statistic, 0.0);
+        assert!((out.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let xs = linspace(0.0, 1.0, 30);
+        let ys = linspace(10.0, 11.0, 30);
+        let out = ks_two_sample(&xs, &ys);
+        assert_eq!(out.statistic, 1.0);
+        assert!(out.p_value < 1e-6);
+    }
+
+    #[test]
+    fn one_tailed_detects_direction() {
+        // ys shifted up: ys stochastically greater.
+        let xs = linspace(0.0, 1.0, 100);
+        let ys = linspace(0.5, 1.5, 100);
+        let greater = ks_one_tailed(&xs, &ys, Tail::Greater);
+        let less = ks_one_tailed(&xs, &ys, Tail::Less);
+        assert!(greater.rejects_at(0.05), "p = {}", greater.p_value);
+        assert!(!less.rejects_at(0.05), "p = {}", less.p_value);
+        assert!(greater.statistic > less.statistic);
+    }
+
+    #[test]
+    fn one_tailed_statistics_cover_two_sided() {
+        let xs = vec![1.0, 3.0, 5.0, 7.0, 9.0];
+        let ys = vec![2.0, 4.0, 6.0, 8.0, 10.0];
+        let two = ks_two_sample(&xs, &ys);
+        let g = ks_one_tailed(&xs, &ys, Tail::Greater);
+        let l = ks_one_tailed(&xs, &ys, Tail::Less);
+        assert!((two.statistic - g.statistic.max(l.statistic)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_ties_across_samples() {
+        let xs = vec![1.0, 1.0, 2.0, 2.0];
+        let ys = vec![1.0, 2.0, 2.0, 3.0];
+        let out = ks_two_sample(&xs, &ys);
+        // F1(1) = 0.5, F2(1) = 0.25 -> D at least 0.25.
+        assert!((out.statistic - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_rarely_rejects() {
+        // Deterministic interleaved samples from the same grid: no rejection.
+        let xs: Vec<f64> = (0..200).map(|i| (i * 2) as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|i| (i * 2 + 1) as f64).collect();
+        let out = ks_two_sample(&xs, &ys);
+        assert!(!out.rejects_at(0.05), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn unequal_sample_sizes_supported() {
+        let xs = linspace(0.0, 1.0, 17);
+        let ys = linspace(0.0, 1.0, 211);
+        let out = ks_two_sample(&xs, &ys);
+        assert!(out.statistic < 0.2);
+        assert_eq!(out.n1, 17);
+        assert_eq!(out.n2, 211);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        ks_two_sample(&[], &[1.0]);
+    }
+
+    #[test]
+    fn large_shift_yields_d_near_one_sided_paper_value() {
+        // Mimic Fig. 8: a ~30% cv increase in duopoly groups with overlap,
+        // should give a substantial D+ (paper reports 0.65).
+        let monopoly: Vec<f64> = (0..100).map(|i| 10.0 + (i % 30) as f64 * 0.1).collect();
+        let duopoly: Vec<f64> = (0..100).map(|i| 13.0 + (i % 30) as f64 * 0.1).collect();
+        let out = ks_one_tailed(&monopoly, &duopoly, Tail::Greater);
+        assert!(out.statistic > 0.5);
+        assert!(out.rejects_at(0.05));
+    }
+}

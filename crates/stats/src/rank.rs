@@ -1,0 +1,210 @@
+//! Rank-based statistics: Spearman correlation and the Mann–Whitney U test.
+//!
+//! These back the robustness experiments: the paper verifies its carriage
+//! values are consistent between download- and upload-based definitions
+//! (Spearman), and the §5.4 competition conclusion should not hinge on the
+//! choice of KS over other two-sample tests (Mann–Whitney).
+
+use crate::special::std_normal_cdf;
+
+/// Mid-ranks of a sample (ties share the average rank), 1-based.
+pub fn midranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in ranks"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j+1.
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient; `None` when undefined (fewer than
+/// 2 points or a constant margin).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired samples must align");
+    if xs.len() < 2 {
+        return None;
+    }
+    let rx = midranks(xs);
+    let ry = midranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation on raw values (used on ranks for Spearman).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired samples must align");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyOutcome {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Normal-approximation z-score (tie-corrected).
+    pub z: f64,
+    /// One-tailed p-value for "sample 2 stochastically greater".
+    pub p_greater: f64,
+    /// Two-tailed p-value.
+    pub p_two_sided: f64,
+}
+
+/// Mann–Whitney U test with the normal approximation (fine for n ≥ 8 per
+/// side, which every block-group sample in the study exceeds).
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn mann_whitney(xs: &[f64], ys: &[f64]) -> MannWhitneyOutcome {
+    assert!(
+        !xs.is_empty() && !ys.is_empty(),
+        "Mann-Whitney needs non-empty samples"
+    );
+    let n1 = xs.len() as f64;
+    let n2 = ys.len() as f64;
+    let mut all: Vec<f64> = xs.iter().chain(ys).copied().collect();
+    let ranks = midranks(&all);
+    let r1: f64 = ranks[..xs.len()].iter().sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    // Tie correction for the variance.
+    all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1] == all[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let n = n1 + n2;
+    let mean_u = n1 * n2 / 2.0;
+    let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    let z = if var_u > 0.0 {
+        (u1 - mean_u) / var_u.sqrt()
+    } else {
+        0.0
+    };
+    // Low U1 means sample 1 ranks low, i.e. sample 2 stochastically greater.
+    let p_greater = std_normal_cdf(z);
+    let p_two = 2.0 * std_normal_cdf(-z.abs());
+    MannWhitneyOutcome {
+        u: u1,
+        z,
+        p_greater,
+        p_two_sided: p_two.min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midranks_handle_ties() {
+        assert_eq!(
+            midranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+        assert_eq!(midranks(&[5.0]), vec![1.0]);
+        assert_eq!(midranks(&[2.0, 1.0]), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn spearman_of_monotone_relation_is_one() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3) - 5.0).collect(); // monotone, nonlinear
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((spearman(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_of_independent_hash_is_near_zero() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..500u64)
+            .map(|i| (i.wrapping_mul(2654435761) % 1000) as f64)
+            .collect();
+        let rho = spearman(&xs, &ys).unwrap();
+        assert!(rho.abs() < 0.1, "rho = {rho}");
+    }
+
+    #[test]
+    fn spearman_undefined_for_constant_margin() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn pearson_of_perfect_line_is_signed_one() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mann_whitney_detects_shift_direction() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 + 50.0).collect();
+        let out = mann_whitney(&a, &b);
+        assert!(out.p_greater < 0.01, "p = {}", out.p_greater);
+        // Flip the samples: no evidence in this direction.
+        let flipped = mann_whitney(&b, &a);
+        assert!(flipped.p_greater > 0.5);
+    }
+
+    #[test]
+    fn mann_whitney_identical_samples_are_null() {
+        let a: Vec<f64> = (0..60).map(|i| (i % 7) as f64).collect();
+        let out = mann_whitney(&a, &a);
+        assert!(out.z.abs() < 1e-9);
+        assert!(out.p_two_sided > 0.95);
+    }
+
+    #[test]
+    fn mann_whitney_agrees_with_ks_on_the_competition_shape() {
+        // Fig-8-like samples: monopoly ~11.4, duopoly ~14.6.
+        let monopoly: Vec<f64> = (0..80).map(|i| 11.3 + (i % 5) as f64 * 0.05).collect();
+        let duopoly: Vec<f64> = (0..80).map(|i| 14.5 + (i % 5) as f64 * 0.05).collect();
+        let mw = mann_whitney(&monopoly, &duopoly);
+        assert!(mw.p_greater < 0.001);
+        let ks = crate::ks::ks_one_tailed(&monopoly, &duopoly, crate::ks::Tail::Greater);
+        assert!(ks.rejects_at(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn mann_whitney_rejects_empty() {
+        mann_whitney(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Bootstrap resampling: confidence intervals for medians and other
+//! statistics of the block-group samples.
+//!
+//! The paper reports point medians; bootstrap CIs let the repro harness say
+//! how much sampling slack those medians carry at reduced scales.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    pub point: f64,
+    pub lo: f64,
+    pub hi: f64,
+    pub level: f64,
+}
+
+impl BootstrapCi {
+    /// Whether the interval contains `v`.
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap CI for an arbitrary statistic.
+///
+/// `stat` must return `Some` on any non-empty resample. Returns `None` when
+/// the statistic is undefined on the original sample. Deterministic in
+/// `seed`.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    stat: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> Option<f64>,
+{
+    assert!((0.5..1.0).contains(&level), "confidence level in [0.5, 1)");
+    assert!(resamples >= 20, "too few resamples for a percentile CI");
+    let point = stat(xs)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB007);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        if let Some(s) = stat(&buf) {
+            stats.push(s);
+        }
+    }
+    if stats.is_empty() {
+        return None;
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> f64 {
+        let h = q * (stats.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        stats[lo] + (stats[hi] - stats[lo]) * (h - lo as f64)
+    };
+    Some(BootstrapCi {
+        point,
+        lo: idx(alpha),
+        hi: idx(1.0 - alpha),
+        level,
+    })
+}
+
+/// Convenience: bootstrap CI of the median.
+pub fn median_ci(xs: &[f64], resamples: usize, level: f64, seed: u64) -> Option<BootstrapCi> {
+    bootstrap_ci(xs, crate::descriptive::median, resamples, level, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f64> {
+        (0..200).map(|i| (i % 37) as f64 * 0.5 + 10.0).collect()
+    }
+
+    #[test]
+    fn ci_brackets_the_point_estimate() {
+        let xs = sample();
+        let ci = median_ci(&xs, 500, 0.95, 1).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.contains(ci.point));
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = sample().into_iter().take(20).collect();
+        let big: Vec<f64> = sample().iter().cycle().take(2000).copied().collect();
+        let ci_small = median_ci(&small, 400, 0.95, 2).unwrap();
+        let ci_big = median_ci(&big, 400, 0.95, 2).unwrap();
+        assert!(
+            ci_big.width() < ci_small.width(),
+            "big {} vs small {}",
+            ci_big.width(),
+            ci_small.width()
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let xs = sample();
+        let a = median_ci(&xs, 300, 0.9, 7).unwrap();
+        let b = median_ci(&xs, 300, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width() {
+        let xs = vec![4.2; 50];
+        let ci = median_ci(&xs, 100, 0.95, 0).unwrap();
+        assert_eq!(ci.lo, 4.2);
+        assert_eq!(ci.hi, 4.2);
+    }
+
+    #[test]
+    fn undefined_statistic_is_none() {
+        assert!(median_ci(&[], 100, 0.95, 0).is_none());
+    }
+
+    #[test]
+    fn custom_statistic_works() {
+        let xs = sample();
+        let ci = bootstrap_ci(&xs, crate::descriptive::mean, 300, 0.95, 3).unwrap();
+        let m = crate::descriptive::mean(&xs).unwrap();
+        assert_eq!(ci.point, m);
+        assert!(ci.contains(m));
+    }
+
+    #[test]
+    #[should_panic(expected = "resamples")]
+    fn too_few_resamples_rejected() {
+        median_ci(&[1.0, 2.0], 5, 0.95, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Special functions needed for statistical inference.
+
+/// Error function, via the Abramowitz & Stegun 7.1.26 rational approximation
+/// (max absolute error ~1.5e-7, plenty for p-values).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function Φ(z).
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²)`,
+/// the asymptotic p-value for the two-sided two-sample KS statistic.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        let signed = if k % 2 == 1 { term } else { -term };
+        sum += signed;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 approximation has ~1.5e-7 absolute error.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            assert!((erf(x) + erf(-x)).abs() < 1e-6);
+            assert!(erf(x).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((std_normal_cdf(-1.6449) - 0.05).abs() < 1e-3);
+        assert!(std_normal_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let v = std_normal_cdf(i as f64 * 0.1);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn kolmogorov_sf_known_values() {
+        // Q(λ) at the classic critical value: Q(1.36) ≈ 0.049.
+        assert!((kolmogorov_sf(1.36) - 0.049).abs() < 0.002);
+        assert!((kolmogorov_sf(1.63) - 0.010).abs() < 0.002);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(5.0) < 1e-9);
+    }
+
+    #[test]
+    fn kolmogorov_sf_is_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in 1..=50 {
+            let v = kolmogorov_sf(i as f64 * 0.1);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+}

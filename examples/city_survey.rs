@@ -1,0 +1,80 @@
+//! City survey: curate one full city and print its affordability profile.
+//!
+//! Reproduces the paper's per-city view: hit rates per ISP (Fig. 2), the
+//! block-group carriage-value distribution (Fig. 5's series), within-group
+//! variability (Fig. 4), spatial clustering (Table 3) and an ASCII map of
+//! who gets which deal (Fig. 7) — for any of the thirty study cities.
+//!
+//! Run with: `cargo run --release --example city_survey [-- "City Name"]`
+
+use decoding_divide::analysis::intracity::cell_aligned_cvs;
+use decoding_divide::analysis::{ascii_map, cv_histogram, morans_i_for_isp};
+use decoding_divide::census::city_by_name;
+use decoding_divide::dataset::{aggregate_block_groups, curate_city, CurationOptions};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Wichita".to_string());
+    let city = city_by_name(&name)
+        .unwrap_or_else(|| panic!("{name:?} is not a study city; use a Table-2 name"));
+
+    println!("=== {}, {} ===", city.name, city.state);
+    println!(
+        "{} block groups, median income ${}k, density {}k/mi2\n",
+        city.block_groups, city.median_income_k, city.density_k
+    );
+
+    // Curate at a reduced scale (~6 addresses per block group).
+    let dataset = curate_city(city, &CurationOptions::quick(1));
+    let rows = aggregate_block_groups(&dataset.records);
+
+    for (isp, metrics) in &dataset.per_isp_metrics {
+        let report = metrics.report();
+        println!(
+            "{:<12} queried {:>6} addresses  hit rate {:>5.1}%  median query {:>6.1}s",
+            isp.name(),
+            report.queried,
+            100.0 * report.hit_rate,
+            report.median_query_s.unwrap_or(f64::NAN),
+        );
+    }
+    println!();
+
+    let grid = city.grid();
+    for (isp, _) in &dataset.per_isp_metrics {
+        let isp = *isp;
+        let served = rows.iter().filter(|r| r.isp == isp).count();
+        println!(
+            "{}: {} of {} block groups with plans ({:.0}% coverage)",
+            isp.name(),
+            served,
+            grid.len(),
+            100.0 * served as f64 / grid.len() as f64
+        );
+        if let Some(h) = cv_histogram(&rows, isp, 30) {
+            print!("  carriage-value mix:");
+            for (center, frac) in h.normalized() {
+                if frac >= 0.03 {
+                    print!("  {:.0} Mbps/$: {:.0}%", center, frac * 100.0);
+                }
+            }
+            println!();
+        }
+        match morans_i_for_isp(city, &rows, isp) {
+            Some(r) => println!(
+                "  spatial clustering: Moran's I = {:.2} (z = {:.1}) -> {}",
+                r.i,
+                r.z_score,
+                if r.p_value < 0.05 {
+                    "significantly clustered"
+                } else {
+                    "not significant"
+                }
+            ),
+            None => println!("  spatial clustering: undefined (uniform offers)"),
+        }
+        let field = cell_aligned_cvs(&grid, &rows, isp);
+        println!("{}", ascii_map(&grid, &field));
+    }
+}

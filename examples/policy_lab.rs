@@ -1,0 +1,60 @@
+//! Policy lab: simulate the paper's §7 recommendations on scraped data.
+//!
+//! Takes one duopoly city, measures the observed premium-deal equity gap,
+//! then replays three counterfactual interventions — a rate cap, an
+//! ACP-style low-income subsidy, and subsidized fiber buildout — and shows
+//! how each moves the gap.
+//!
+//! Run with: `cargo run --release --example policy_lab [-- "City"]`
+
+use decoding_divide::analysis::{evaluate_intervention, Intervention};
+use decoding_divide::census::city_by_name;
+use decoding_divide::dataset::{curate_city, CurationOptions};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "New Orleans".to_string());
+    let city = city_by_name(&name)
+        .unwrap_or_else(|| panic!("{name:?} is not a study city; use a Table-2 name"));
+
+    println!("=== Policy lab: {} ===", city.name);
+    println!(
+        "metric: share of block groups with a premium deal (best cv >= 14 Mbps/$),\n\
+         split at the city median income (${:.0}k)\n",
+        city.median_income_k
+    );
+
+    let dataset = curate_city(city, &CurationOptions::quick(17));
+
+    let interventions = [
+        Intervention::None,
+        Intervention::RateCap {
+            max_price_usd: 40.0,
+        },
+        Intervention::LowIncomeSubsidy { discount_usd: 30.0 },
+        Intervention::FiberBuildout,
+    ];
+    println!(
+        "{:<22} {:>18} {:>18} {:>10}",
+        "intervention", "low-income access", "high-income access", "gap (pts)"
+    );
+    for intervention in interventions {
+        match evaluate_intervention(city, &dataset.records, intervention) {
+            Some(out) => println!(
+                "{:<22} {:>17.0}% {:>17.0}% {:>+10.0}",
+                out.intervention_label,
+                100.0 * out.low_income_premium_frac,
+                100.0 * out.high_income_premium_frac,
+                out.gap_points()
+            ),
+            None => println!("{:<22} (insufficient data)", "?"),
+        }
+    }
+
+    println!(
+        "\nReading the table: the observed gap is what §5.5 measures; a rate cap lifts\n\
+         everyone but barely moves the gap; targeted subsidies and fiber buildout in\n\
+         low-income block groups close it — the paper's recommendation 3."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: query the broadband plans at one street address.
+//!
+//! This is the paper's core loop in miniature: stand up a city's simulated
+//! ISP availability sites, point BQT at one listing line, and print the
+//! plans (download/upload/price and carriage value) it scrapes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use decoding_divide::bat::{templates, BatServer};
+use decoding_divide::bqt::{query_address, BqtConfig, QueryJob, QueryOutcome};
+use decoding_divide::census::city_by_name;
+use decoding_divide::isp::CityWorld;
+use decoding_divide::net::{Endpoint, SimDuration, SimIp, SimTime, Transport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Build the hidden world for one study city and start its BATs.
+    let city = city_by_name("New Orleans").expect("a Table-2 city");
+    let world = Arc::new(CityWorld::build(city));
+    let mut transport = Transport::new(7);
+    for isp in world.isps() {
+        let server = BatServer::new(isp, world.clone());
+        let network = server.profile().network_latency;
+        transport.register(isp.slug(), Endpoint::new(Box::new(server), network));
+    }
+
+    // 2. Pick an address as it appears in the (noisy) listing data.
+    let address = &world.addresses().records()[100];
+    println!("querying: {}\n", address.listing_line);
+
+    // 3. Drive BQT against each active ISP.
+    let config = BqtConfig::paper_default(SimDuration::from_secs(60));
+    let mut rng = StdRng::seed_from_u64(42);
+    let src = SimIp(u32::from_be_bytes([100, 64, 0, 1]));
+    for isp in world.isps() {
+        let job = QueryJob {
+            endpoint: isp.slug().to_string(),
+            dialect: templates::dialect_of(isp),
+            input_line: address.listing_line.clone(),
+            tag: address.id as u64,
+        };
+        let rec = query_address(&mut transport, &config, &job, src, SimTime::ZERO, &mut rng);
+        println!(
+            "{} (answered in {} virtual, {} steps):",
+            isp, rec.duration, rec.steps
+        );
+        match rec.outcome {
+            QueryOutcome::Plans(plans) => {
+                for p in plans {
+                    println!(
+                        "  {:>7.1} down / {:>6.1} up Mbps at ${:>5.2}/mo  -> carriage value {:.2} Mbps/$",
+                        p.download_mbps,
+                        p.upload_mbps,
+                        p.price_usd,
+                        p.carriage_value()
+                    );
+                }
+            }
+            QueryOutcome::NoService => println!("  no broadband service at this address"),
+            other => println!("  query did not resolve: {other:?}"),
+        }
+        println!();
+    }
+}

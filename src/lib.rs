@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the full Decoding-the-Divide reproduction API.
+pub use bbsim_address as address;
+pub use bbsim_analysis as analysis;
+pub use bbsim_bat as bat;
+pub use bbsim_census as census;
+pub use bbsim_dataset as dataset;
+pub use bbsim_geo as geo;
+pub use bbsim_isp as isp;
+pub use bbsim_net as net;
+pub use bbsim_stats as stats;
+pub use bqt;

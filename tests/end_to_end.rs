@@ -1,0 +1,127 @@
+//! End-to-end integration: world -> BAT -> BQT -> dataset -> CSV.
+//!
+//! These tests cross every crate boundary: they curate a real (small) study
+//! city and verify that what landed in the dataset is exactly what the
+//! hidden world serves, that the public-release export round-trips, and
+//! that the measurement layer never leaks ground truth it should not know.
+
+use decoding_divide::census::city_by_name;
+use decoding_divide::dataset::{
+    aggregate_block_groups, csvio, curate_city, CurationOptions, PlanRecord,
+};
+use decoding_divide::isp::{CityWorld, Isp};
+
+fn billings_dataset() -> Vec<PlanRecord> {
+    let city = city_by_name("Billings").expect("study city");
+    curate_city(city, &CurationOptions::quick(11)).records
+}
+
+#[test]
+fn scraped_plans_equal_ground_truth_at_nearly_every_hit() {
+    let city = city_by_name("Billings").expect("study city");
+    let ds = curate_city(city, &CurationOptions::quick(11));
+    let world = CityWorld::build(city);
+    let mut exact = 0;
+    let mut mismatched = 0;
+    for rec in &ds.records {
+        if rec.plans.is_empty() {
+            continue; // no-service rows have nothing to compare
+        }
+        let addr = world.addresses().record(rec.address_tag as u32);
+        let truth = world.plans_at(rec.isp, addr);
+        let matches = rec.plans.len() == truth.plans.len()
+            && rec.plans.iter().zip(&truth.plans).all(|(s, p)| {
+                s.download_mbps == p.download_mbps
+                    && s.upload_mbps == p.upload_mbps
+                    && s.price_usd == p.price_usd
+            });
+        if matches {
+            exact += 1;
+        } else {
+            // Known, realistic error channel: the ISP's database is missing
+            // ~2% of addresses, and BQT then accepts a very similar
+            // same-zip suggestion — scraping a neighbour's plans. The live
+            // tool has the same failure mode.
+            mismatched += 1;
+        }
+    }
+    assert!(exact > 500, "only {exact} exact hits verified");
+    let err = mismatched as f64 / (exact + mismatched) as f64;
+    assert!(err < 0.03, "measurement error rate {err} exceeds 3%");
+}
+
+#[test]
+fn dataset_respects_the_sampling_design() {
+    let records = billings_dataset();
+    // Quick scale caps 6 addresses per (ISP, block group).
+    let mut per_bg: std::collections::HashMap<(Isp, usize), usize> = Default::default();
+    for r in &records {
+        *per_bg.entry((r.isp, r.bg_index)).or_default() += 1;
+    }
+    assert!(per_bg.values().all(|&n| n <= 6));
+    // Both Table-2 ISPs for Billings appear.
+    assert!(records.iter().any(|r| r.isp == Isp::CenturyLink));
+    assert!(records.iter().any(|r| r.isp == Isp::Spectrum));
+}
+
+#[test]
+fn block_group_rows_are_consistent_with_their_records() {
+    let records = billings_dataset();
+    let rows = aggregate_block_groups(&records);
+    for row in rows.iter().take(50) {
+        let cvs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.isp == row.isp && r.bg_index == row.bg_index)
+            .filter_map(|r| r.best_cv())
+            .collect();
+        assert_eq!(cvs.len(), row.n_addresses);
+        assert!(row.median_cv >= cvs.iter().cloned().fold(f64::MAX, f64::min));
+        assert!(row.median_cv <= cvs.iter().cloned().fold(f64::MIN, f64::max));
+    }
+}
+
+#[test]
+fn csv_export_roundtrips_and_anonymizes() {
+    let records = billings_dataset();
+    // Raw roundtrip.
+    let csv = csvio::records_to_csv(&records, None);
+    let parsed = csvio::records_from_csv(&csv).expect("valid CSV");
+    assert_eq!(parsed, records);
+    // Anonymized export must replace every address column with a token.
+    let anon = csvio::records_to_csv(&records, Some(0xC0FFEE));
+    for line in anon.lines().skip(1) {
+        let addr_col = line.split(',').nth(2).expect("address column");
+        assert!(addr_col.starts_with("addr-"), "raw tag leaked in {line:?}");
+    }
+    assert!(csvio::records_from_csv(&anon).is_ok());
+}
+
+#[test]
+fn curation_hits_the_paper_hit_rate_floor() {
+    let city = city_by_name("Fargo").expect("study city");
+    let ds = curate_city(city, &CurationOptions::quick(2));
+    for (isp, m) in &ds.per_isp_metrics {
+        assert!(
+            m.hit_rate() > 0.80,
+            "{isp} hit rate {} below the paper's floor",
+            m.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn no_service_rows_come_from_unserved_block_groups() {
+    let city = city_by_name("Billings").expect("study city");
+    let ds = curate_city(city, &CurationOptions::quick(11));
+    let world = CityWorld::build(city);
+    for rec in ds.records.iter().filter(|r| r.plans.is_empty()).take(50) {
+        let addr = world.addresses().record(rec.address_tag as u32);
+        let truth = world.plans_at(rec.isp, addr);
+        assert!(
+            truth.plans.is_empty(),
+            "{} reported no-service but world offers plans at {}",
+            rec.isp,
+            addr.listing_line
+        );
+    }
+}

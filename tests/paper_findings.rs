@@ -1,0 +1,265 @@
+//! The paper's four headline findings, recovered end-to-end from scraped
+//! data on a reduced-scale multi-city study.
+//!
+//! These are the reproduction's acceptance tests: if any of them fails, the
+//! repository no longer reproduces the paper. They are statements about
+//! *shape* — orderings, signs and significance — not absolute numbers.
+
+use decoding_divide::analysis::{
+    fiber_by_income, l1_pairs, morans_i_for_isp, plan_vector_for, test_competition, CompetitionMode,
+};
+use decoding_divide::census::{city_by_name, CityProfile};
+use decoding_divide::dataset::{
+    aggregate_block_groups, curate_city, BlockGroupRow, CurationOptions,
+};
+use decoding_divide::isp::Isp;
+use decoding_divide::stats::median;
+use std::sync::OnceLock;
+
+/// Cities chosen to exercise every mechanism at manageable scale:
+/// AT&T+Cox (New Orleans, Wichita), CenturyLink+Spectrum (Billings),
+/// Frontier+Spectrum (Durham), CenturyLink monopoly (Fargo).
+const CITIES: &[&str] = &[
+    "New Orleans",
+    "Wichita",
+    "Billings",
+    "Durham",
+    "Fargo",
+    "Tampa",
+    "Fort Wayne",
+    "Santa Barbara",
+];
+
+struct Study {
+    per_city: Vec<(&'static CityProfile, Vec<BlockGroupRow>)>,
+}
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let per_city = CITIES
+            .iter()
+            .map(|name| {
+                let city = city_by_name(name).expect("study city");
+                let ds = curate_city(city, &CurationOptions::quick(21));
+                (city, aggregate_block_groups(&ds.records))
+            })
+            .collect();
+        Study { per_city }
+    })
+}
+
+fn rows_for(name: &str) -> &'static [BlockGroupRow] {
+    study()
+        .per_city
+        .iter()
+        .find(|(c, _)| c.name == name)
+        .map(|(_, rows)| rows.as_slice())
+        .expect("city curated")
+}
+
+/// Finding 1 (§5.2): ISP plans vary between cities.
+#[test]
+fn finding_1_plans_vary_inter_city() {
+    // AT&T's mix differs between New Orleans and Wichita (the paper's own
+    // example: 32% vs 54% fiber block groups).
+    let nola = plan_vector_for(rows_for("New Orleans"), Isp::Att).expect("AT&T in NOLA");
+    let wichita = plan_vector_for(rows_for("Wichita"), Isp::Att).expect("AT&T in Wichita");
+    let pairs = l1_pairs(&[
+        ("New Orleans".to_string(), nola),
+        ("Wichita".to_string(), wichita),
+    ]);
+    assert!(pairs[0].2 > 0.05, "AT&T L1 {}", pairs[0].2);
+}
+
+/// Finding 2 (§5.3): plans are spatially clustered within a city, and the
+/// carriage value spans a wide range.
+#[test]
+fn finding_2_plans_cluster_intra_city() {
+    for (city_name, isp) in [("New Orleans", Isp::Att), ("New Orleans", Isp::Cox)] {
+        let city = city_by_name(city_name).expect("study city");
+        let r = morans_i_for_isp(city, rows_for(city_name), isp).expect("Moran's I defined");
+        assert!(r.i > 0.15, "{isp} in {city_name}: I = {}", r.i);
+        assert!(r.p_value < 0.05, "{isp} clustering not significant");
+    }
+    // Intra-city spread: AT&T's best and worst block-group deals differ by
+    // a large factor (paper: up to 600%).
+    let cvs: Vec<f64> = rows_for("New Orleans")
+        .iter()
+        .filter(|r| r.isp == Isp::Att)
+        .map(|r| r.median_cv)
+        .collect();
+    let max = cvs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = cvs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min > 5.0, "intra-city spread only {}x", max / min);
+}
+
+/// Finding 3 (§5.4): cable responds to fiber competition, not to DSL.
+#[test]
+fn finding_3_competition_raises_cable_carriage_value() {
+    for (city_name, cable, rival) in [
+        ("New Orleans", Isp::Cox, Isp::Att),
+        ("Wichita", Isp::Cox, Isp::Att),
+        ("Billings", Isp::Spectrum, Isp::CenturyLink),
+    ] {
+        let report = test_competition(rows_for(city_name), cable, Some(rival))
+            .expect("competition testable");
+        let fiber = report
+            .comparisons
+            .iter()
+            .find(|c| c.mode == CompetitionMode::CableFiberDuopoly)
+            .expect("fiber duopoly present");
+        assert!(
+            fiber.h1_duopoly_greater.rejects_at(0.05),
+            "{city_name}: fiber duopoly p = {}",
+            fiber.h1_duopoly_greater.p_value
+        );
+        let boost = fiber.median_cv / report.monopoly_median_cv;
+        assert!(
+            (1.05..1.8).contains(&boost),
+            "{city_name}: boost {boost} out of the paper's ballpark"
+        );
+        if let Some(dsl) = report
+            .comparisons
+            .iter()
+            .find(|c| c.mode == CompetitionMode::CableDslDuopoly)
+        {
+            assert!(
+                !dsl.h1_duopoly_greater.rejects_at(0.01),
+                "{city_name}: DSL duopoly should not beat monopoly (p = {})",
+                dsl.h1_duopoly_greater.p_value
+            );
+        }
+    }
+}
+
+/// Finding 4 (§5.5): fiber deployment follows income.
+#[test]
+fn finding_4_income_predicts_fiber() {
+    let mut gaps = Vec::new();
+    for (city_name, isp) in [
+        ("New Orleans", Isp::Att),
+        ("Wichita", Isp::Att),
+        ("Billings", Isp::CenturyLink),
+        ("Fargo", Isp::CenturyLink),
+    ] {
+        let city = city_by_name(city_name).expect("study city");
+        let b = fiber_by_income(city, rows_for(city_name), isp).expect("breakdown computable");
+        gaps.push(b.gap_points());
+    }
+    let med = median(&gaps).expect("gaps non-empty");
+    assert!(med > 3.0, "median income gap only {med} points: {gaps:?}");
+    assert!(
+        gaps.iter().filter(|&&g| g > 0.0).count() >= 3,
+        "most cities should show a positive gap: {gaps:?}"
+    );
+
+    // Frontier is the outlier: across its cities the median gap should be
+    // near zero (single cities can swing either way by noise, as in the
+    // paper's Fig. 9b whiskers).
+    let mut frontier_gaps = Vec::new();
+    for city_name in ["Durham", "Tampa", "Fort Wayne", "Santa Barbara"] {
+        let city = city_by_name(city_name).expect("study city");
+        if let Some(b) = fiber_by_income(city, rows_for(city_name), Isp::Frontier) {
+            frontier_gaps.push(b.gap_points());
+        }
+    }
+    assert!(
+        frontier_gaps.len() >= 3,
+        "Frontier breakdowns: {frontier_gaps:?}"
+    );
+    let frontier_med = median(&frontier_gaps).expect("non-empty");
+    assert!(
+        frontier_med < med,
+        "Frontier median gap {frontier_med} should undercut the income-following ISPs' {med}: {frontier_gaps:?}"
+    );
+}
+
+/// Cross-cutting §5.3 observation: cable beats DSL/fiber on coverage and
+/// average best carriage value in every shared city.
+#[test]
+fn cable_dominates_coverage_and_average_deal() {
+    for (city_name, cable, dslf) in [
+        ("New Orleans", Isp::Cox, Isp::Att),
+        ("Billings", Isp::Spectrum, Isp::CenturyLink),
+        ("Durham", Isp::Spectrum, Isp::Frontier),
+    ] {
+        let rows = rows_for(city_name);
+        let count = |isp: Isp| rows.iter().filter(|r| r.isp == isp).count();
+        let mean_cv = |isp: Isp| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.isp == isp)
+                .map(|r| r.median_cv)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(
+            count(cable) > count(dslf),
+            "{city_name}: cable coverage {} vs {}",
+            count(cable),
+            count(dslf)
+        );
+        assert!(
+            mean_cv(cable) > mean_cv(dslf),
+            "{city_name}: cable mean cv {} vs {}",
+            mean_cv(cable),
+            mean_cv(dslf)
+        );
+    }
+}
+
+/// Fig. 4's justification for block-group medians: within-group carriage
+/// values barely vary for cable ISPs, while DSL/fiber ISPs have a long
+/// CoV tail from mixed DSL/fiber groups.
+#[test]
+fn within_group_variability_matches_fig4() {
+    use decoding_divide::stats::quantile;
+    let att_covs: Vec<f64> = rows_for("New Orleans")
+        .iter()
+        .chain(rows_for("Wichita"))
+        .filter(|r| r.isp == Isp::Att)
+        .filter_map(|r| r.cov)
+        .collect();
+    let cable_covs: Vec<f64> = rows_for("New Orleans")
+        .iter()
+        .chain(rows_for("Wichita"))
+        .filter(|r| r.isp == Isp::Cox)
+        .filter_map(|r| r.cov)
+        .collect();
+    assert!(att_covs.len() > 100 && cable_covs.len() > 100);
+    // Cable: essentially no within-group variability.
+    assert!(
+        quantile(&cable_covs, 0.9).expect("non-empty") < 0.1,
+        "cable p90 CoV too high"
+    );
+    // AT&T: a heavy tail from mixed DSL/fiber block groups.
+    assert!(
+        quantile(&att_covs, 0.95).expect("non-empty") > 0.3,
+        "AT&T CoV tail missing"
+    );
+}
+
+/// Fig. 2's microbenchmark shape: hit rates above the paper's floor and
+/// Spectrum slower than the DSL/fiber ISP in the same city.
+#[test]
+fn microbenchmark_shape_matches_fig2() {
+    let city = city_by_name("Billings").expect("study city");
+    let ds = curate_city(city, &CurationOptions::quick(21));
+    let metric = |isp: Isp| {
+        ds.per_isp_metrics
+            .iter()
+            .find(|(i, _)| *i == isp)
+            .map(|(_, m)| m.report())
+            .expect("curated ISP")
+    };
+    let cl = metric(Isp::CenturyLink);
+    let spectrum = metric(Isp::Spectrum);
+    assert!(cl.hit_rate > 0.8 && spectrum.hit_rate > 0.8);
+    assert!(
+        spectrum.median_query_s.expect("hits") > cl.median_query_s.expect("hits") * 1.5,
+        "Spectrum ({:?}s) should be much slower than CenturyLink ({:?}s)",
+        spectrum.median_query_s,
+        cl.median_query_s
+    );
+}

@@ -1,0 +1,275 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crate boundaries (proptest).
+
+use decoding_divide::address::abbrev::{normalize_line, normalize_tokens};
+use decoding_divide::address::{jaro_winkler, levenshtein, token_sort_similarity};
+use decoding_divide::geo::BlockGroupId;
+use decoding_divide::net::{FrameCodec, Request, Response};
+use decoding_divide::stats::{
+    coefficient_of_variation, ks_two_sample, mean, median, quantile, Ecdf, PlanVector,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // ---- geo ----------------------------------------------------------
+
+    #[test]
+    fn geoid_roundtrips(state in 1u8..=99, county in 1u16..=999, tract in 0u32..=999_999, bg in 0u8..=9) {
+        let id = BlockGroupId::new(state, county, tract, bg);
+        let parsed: BlockGroupId = id.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, id);
+        prop_assert_eq!(id.to_string().len(), 12);
+    }
+
+    #[test]
+    fn geoid_ordering_matches_u64_encoding(
+        a in (1u8..=99, 1u16..=999, 0u32..=999_999, 0u8..=9),
+        b in (1u8..=99, 1u16..=999, 0u32..=999_999, 0u8..=9),
+    ) {
+        let x = BlockGroupId::new(a.0, a.1, a.2, a.3);
+        let y = BlockGroupId::new(b.0, b.1, b.2, b.3);
+        prop_assert_eq!(x < y, x.as_u64() < y.as_u64());
+        prop_assert_eq!(x == y, x.as_u64() == y.as_u64());
+    }
+
+    // ---- net ----------------------------------------------------------
+
+    #[test]
+    fn frames_roundtrip_arbitrary_payloads(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut buf = bytes::BytesMut::new();
+        FrameCodec.encode(&payload, &mut buf);
+        let out = FrameCodec.decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(&out[..], &payload[..]);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn frame_decoder_never_consumes_partial_frames(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        cut in 0usize..4,
+    ) {
+        let mut full = bytes::BytesMut::new();
+        FrameCodec.encode(&payload, &mut full);
+        let cut = cut.min(full.len() - 1);
+        let mut partial = bytes::BytesMut::from(&full[..full.len() - 1 - cut]);
+        let before = partial.len();
+        prop_assert_eq!(FrameCodec.decode(&mut partial).unwrap(), None);
+        prop_assert_eq!(partial.len(), before);
+    }
+
+    #[test]
+    fn requests_roundtrip_wire_format(
+        path in "[a-z/]{1,24}",
+        body in "[ -~&&[^\r]]{0,200}",
+        cookie in "[a-z0-9=]{0,32}",
+    ) {
+        let mut req = Request::post(format!("/{path}"), body);
+        if !cookie.is_empty() {
+            req = req.with_cookie(cookie);
+        }
+        let parsed = Request::from_wire(&req.to_wire()).unwrap();
+        prop_assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn responses_roundtrip_wire_format(body in "[ -~&&[^\r]]{0,300}") {
+        let resp = Response::ok(body).with_set_cookie("sid=1");
+        let parsed = Response::from_wire(&resp.to_wire()).unwrap();
+        prop_assert_eq!(parsed, resp);
+    }
+
+    // ---- address ------------------------------------------------------
+
+    #[test]
+    fn normalization_is_idempotent(line in "[A-Za-z0-9 ,.#]{0,80}") {
+        let once = normalize_line(&line);
+        let twice = normalize_line(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalization_is_case_insensitive(line in "[A-Za-z0-9 ,.]{0,60}") {
+        prop_assert_eq!(normalize_line(&line.to_uppercase()), normalize_line(&line.to_lowercase()));
+    }
+
+    #[test]
+    fn normalized_tokens_are_lowercase_alphanumeric(line in "[ -~]{0,80}") {
+        for tok in normalize_tokens(&line) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(
+                tok.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "token {tok:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z ]{0,24}", b in "[a-z ]{0,24}", c in "[a-z ]{0,24}") {
+        // Symmetry, identity and the triangle inequality.
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn similarities_are_bounded(a in "[ -~]{0,40}", b in "[ -~]{0,40}") {
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&jw), "jw {jw}");
+        let ts = token_sort_similarity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ts), "ts {ts}");
+    }
+
+    #[test]
+    fn identical_strings_have_maximal_similarity(a in "[a-z0-9 ]{1,40}") {
+        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    // ---- stats --------------------------------------------------------
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        xs.iter_mut().for_each(|x| *x = x.trunc()); // avoid float-compare noise
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    #[test]
+    fn mean_lies_between_extremes(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = mean(&xs).unwrap();
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+
+    #[test]
+    fn median_splits_the_sample(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let m = median(&xs).unwrap();
+        let below = xs.iter().filter(|&&x| x <= m).count();
+        let above = xs.iter().filter(|&&x| x >= m).count();
+        prop_assert!(below * 2 >= xs.len());
+        prop_assert!(above * 2 >= xs.len());
+    }
+
+    #[test]
+    fn cov_is_scale_invariant(
+        xs in proptest::collection::vec(1.0f64..1e4, 2..50),
+        scale in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let a = coefficient_of_variation(&xs).unwrap();
+        let b = coefficient_of_variation(&scaled).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn ks_statistic_is_bounded_and_symmetric(
+        a in proptest::collection::vec(-100f64..100.0, 2..80),
+        b in proptest::collection::vec(-100f64..100.0, 2..80),
+    ) {
+        let ab = ks_two_sample(&a, &b);
+        let ba = ks_two_sample(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab.statistic));
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+    }
+
+    #[test]
+    fn ks_of_identical_samples_never_rejects(a in proptest::collection::vec(-100f64..100.0, 2..100)) {
+        let out = ks_two_sample(&a, &a);
+        prop_assert_eq!(out.statistic, 0.0);
+        prop_assert!(out.p_value > 0.99);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_from_zero_to_one(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        probe in proptest::collection::vec(-2e3f64..2e3, 1..20),
+    ) {
+        let e = Ecdf::new(xs.clone());
+        let mut probes = probe;
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for p in probes {
+            let v = e.eval(p);
+            prop_assert!(v >= prev);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(e.eval(max), 1.0);
+    }
+
+    #[test]
+    fn plan_vector_weights_always_sum_to_one(cvs in proptest::collection::vec(0.0f64..40.0, 1..200)) {
+        let v = PlanVector::from_carriage_values(&cvs).unwrap();
+        let total: f64 = v.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_distance_is_a_bounded_metric(
+        a in proptest::collection::vec(0.0f64..40.0, 1..100),
+        b in proptest::collection::vec(0.0f64..40.0, 1..100),
+        c in proptest::collection::vec(0.0f64..40.0, 1..100),
+    ) {
+        use decoding_divide::stats::l1_distance;
+        let va = PlanVector::from_carriage_values(&a).unwrap();
+        let vb = PlanVector::from_carriage_values(&b).unwrap();
+        let vc = PlanVector::from_carriage_values(&c).unwrap();
+        let dab = l1_distance(&va, &vb);
+        prop_assert!((0.0..=2.0 + 1e-12).contains(&dab));
+        prop_assert!((dab - l1_distance(&vb, &va)).abs() < 1e-12);
+        prop_assert!(l1_distance(&va, &vc) <= dab + l1_distance(&vb, &vc) + 1e-9);
+        prop_assert_eq!(l1_distance(&va, &va), 0.0);
+    }
+}
+
+// Non-proptest cross-crate invariants that complete the suite.
+
+#[test]
+fn noisy_rendering_matches_back_to_its_own_canonical_form() {
+    use decoding_divide::address::matching::{best_match, Measure};
+    use decoding_divide::address::{render_noisy, NoiseProfile};
+    use decoding_divide::census::city_by_name;
+    use decoding_divide::isp::CityWorld;
+
+    // For a sample of real inventory addresses, the noisy listing must match
+    // its own canonical line better than any sibling on the same street.
+    let world = CityWorld::build(city_by_name("Fargo").expect("study city"));
+    let db = world.addresses();
+    let mut correct = 0;
+    let mut total = 0;
+    for r in db.records().iter().take(300) {
+        let noisy = render_noisy(&r.canonical, &NoiseProfile::zillow_like(), r.id as u64);
+        // The record itself plus up to seven same-block siblings.
+        let mut candidates: Vec<String> = db
+            .in_block_group(r.bg_index)
+            .iter()
+            .filter(|&&i| db.records()[i].id != r.id)
+            .take(7)
+            .map(|&i| db.records()[i].canonical.canonical_line())
+            .collect();
+        candidates.push(r.canonical.canonical_line());
+        let truth_idx = candidates.len() - 1;
+        total += 1;
+        if let Some((idx, _)) = best_match(Measure::TokenSort, &noisy, &candidates, 0.5) {
+            if idx == truth_idx {
+                correct += 1;
+            }
+        }
+    }
+    assert!(total > 200);
+    assert!(
+        correct as f64 / total as f64 > 0.9,
+        "matcher picked the right sibling only {correct}/{total} times"
+    );
+}
