@@ -111,8 +111,7 @@ pub fn normalize_line(text: &str) -> String {
 /// standalone 5-digit token).
 pub fn extract_zip(text: &str) -> Option<u32> {
     text.split(|c: char| c.is_whitespace() || c == ',')
-        .filter(|t| t.len() == 5 && t.bytes().all(|b| b.is_ascii_digit()))
-        .next_back()
+        .rfind(|t| t.len() == 5 && t.bytes().all(|b| b.is_ascii_digit()))
         .and_then(|t| t.parse().ok())
 }
 

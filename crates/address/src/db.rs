@@ -72,7 +72,7 @@ impl AddressDb {
         // database has one row per deliverable address.
         let mut seen = std::collections::HashSet::with_capacity(city.street_addresses());
 
-        for bg in 0..n_bg {
+        for (bg, bg_slots) in by_bg.iter_mut().enumerate() {
             let count = (mean_per_bg * rng.gen_range(0.5..1.5)).round().max(2.0) as usize;
             // Zip zone: contiguous runs of block groups share a zip code.
             let zip = city.zip_prefix as u32 * 100 + (bg as u32 / 12) % 100;
@@ -122,7 +122,7 @@ impl AddressDb {
                 };
                 let id = records.len() as AddressId;
                 let listing_line = render_noisy(&canonical, noise, seed ^ (id as u64) << 8);
-                by_bg[bg].push(records.len());
+                bg_slots.push(records.len());
                 records.push(AddressRecord {
                     id,
                     canonical,

@@ -70,7 +70,7 @@ pub struct StreetNamer {
 impl StreetNamer {
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed ^ 0x57E3_37),
+            rng: StdRng::seed_from_u64(seed ^ 0x57E337),
         }
     }
 

@@ -284,7 +284,10 @@ pub fn lisa_field(grid: &CityGrid, field: &[Option<f64>]) -> Option<Vec<Option<f
     for (k, &i) in covered.iter().enumerate() {
         dense_index[i] = k;
     }
-    let values: Vec<f64> = covered.iter().map(|&i| field[i].expect("covered")).collect();
+    let values: Vec<f64> = covered
+        .iter()
+        .map(|&i| field[i].expect("covered"))
+        .collect();
     let weights: Vec<Vec<(usize, f64)>> = covered
         .iter()
         .map(|&i| {
@@ -378,13 +381,13 @@ mod lisa_tests {
         let city = city_by_name("Billings").expect("study city");
         let grid = city.grid();
         let mut field: Vec<Option<f64>> = vec![None; grid.len()];
-        for i in 0..5 {
-            field[i] = Some(i as f64);
+        for (i, f) in field.iter_mut().enumerate().take(5) {
+            *f = Some(i as f64);
         }
         assert!(lisa_field(&grid, &field).is_none());
         // Half-covered field: LISA defined exactly where data is.
-        for i in 0..grid.len() / 2 {
-            field[i] = Some((i % 7) as f64);
+        for (i, f) in field.iter_mut().enumerate().take(grid.len() / 2) {
+            *f = Some((i % 7) as f64);
         }
         let lisa = lisa_field(&grid, &field).expect("defined");
         for i in 0..grid.len() {

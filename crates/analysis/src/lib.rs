@@ -34,6 +34,8 @@ pub use competition::{classify_modes, test_competition, CompetitionMode, Competi
 pub use flattening::{tier_flattening, worst_flattening, PricePointSpread};
 pub use income::{fiber_by_income, fiber_income_gap, FiberIncomeBreakdown};
 pub use intercity::{cv_histogram, l1_pairs, plan_vector_for};
-pub use intracity::{ascii_map, composite_best_cv, lisa_field, lisa_map, morans_i_for_isp, morans_i_for_pair};
+pub use intracity::{
+    ascii_map, composite_best_cv, lisa_field, lisa_map, morans_i_for_isp, morans_i_for_pair,
+};
 pub use policy::{evaluate_intervention, EquityOutcome, Intervention};
 pub use report::Table;

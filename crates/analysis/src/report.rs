@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn opt_f64_formats_and_dashes() {
-        assert_eq!(opt_f64(Some(3.14159), 2), "3.14");
+        assert_eq!(opt_f64(Some(1.23456), 2), "1.23");
         assert_eq!(opt_f64(None, 2), "-");
     }
 

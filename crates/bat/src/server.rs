@@ -588,6 +588,9 @@ mod tests {
     #[test]
     fn malformed_requests_get_400_or_404() {
         let mut s = server();
+        // Routing is what's under test: disable transient 500s so the
+        // outcome doesn't depend on the RNG stream for this seed.
+        s.profile.transient_failure_rate = 0.0;
         let mut rng = StdRng::seed_from_u64(0);
         let r1 = s
             .handle(

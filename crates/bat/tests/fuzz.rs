@@ -87,7 +87,7 @@ proptest! {
             if let Some(c) = out.response.set_cookie() {
                 last_cookie = Some(c.to_string());
             }
-            now = now + bbsim_net::SimDuration::from_secs(7);
+            now += bbsim_net::SimDuration::from_secs(7);
             prop_assert!(server.blocked_requests >= prev_blocked);
             prev_blocked = server.blocked_requests;
         }

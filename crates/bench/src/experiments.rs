@@ -581,6 +581,7 @@ pub fn scaling(seed: u64) -> String {
             n_workers: workers,
             politeness: SimDuration::from_secs(5),
             seed,
+            retry: None,
         };
         let report = orch.run(&mut transport, &config, &jobs, &mut pool);
         t.row(vec![
@@ -672,6 +673,7 @@ pub fn ablation_wait(seed: u64) -> String {
             n_workers: 32,
             politeness: SimDuration::from_secs(5),
             seed,
+            retry: None,
         };
         let report = orch.run(&mut transport, &config, &jobs, &mut pool);
         let med = report.metrics.median_duration().map(|d| d.as_secs_f64());
@@ -705,6 +707,7 @@ pub fn ablation_sampling(seed: u64) -> String {
             seed,
             measure: bbsim_address::matching::Measure::TokenSort,
             epoch: 0,
+            retry: None,
         },
     );
     let ref_rows = bbsim_dataset::aggregate_block_groups(&reference.records);
@@ -732,6 +735,7 @@ pub fn ablation_sampling(seed: u64) -> String {
                 seed: seed + 1,
                 measure: bbsim_address::matching::Measure::TokenSort,
                 epoch: 0,
+                retry: None,
             },
         );
         let rows = bbsim_dataset::aggregate_block_groups(&ds.records);
@@ -817,6 +821,7 @@ pub fn strawman_vs_bqt(seed: u64) -> String {
         n_workers: 32,
         politeness: SimDuration::from_secs(5),
         seed,
+        retry: None,
     };
     let report = orch.run(
         &mut t2,

@@ -494,10 +494,92 @@ pub fn release(study: &StudyDataset, dir: &str, salt: u64) -> String {
     )
 }
 
+/// Robustness under injected faults: the same curation run clean, degraded
+/// with the retry subsystem on, and degraded one-shot. Half of all requests
+/// are dropped at the virtual network edge for the whole campaign.
+pub fn chaos(seed: u64) -> String {
+    use bbsim_dataset::curate_city_with_faults;
+    use bbsim_net::{FaultPlan, SimDuration, SimTime};
+    use bqt::RetryPolicy;
+
+    let city = city_by_name("Billings").expect("study city");
+    let horizon = SimTime::ZERO + SimDuration::from_secs(100_000_000);
+    let plan = || FaultPlan::new(seed ^ 0xC4A05).lossy_network(SimTime::ZERO, horizon, 0.5);
+
+    let opts = CurationOptions::quick(seed);
+    let runs = [
+        ("clean", curate_city_with_faults(city, &opts, None)),
+        (
+            "faults + retries",
+            curate_city_with_faults(
+                city,
+                &opts.with_retry(RetryPolicy::paper_default(seed)),
+                Some(plan()),
+            ),
+        ),
+        (
+            "faults, one-shot",
+            curate_city_with_faults(city, &opts, Some(plan())),
+        ),
+    ];
+
+    let mut t = Table::new(vec![
+        "run",
+        "isp",
+        "hit rate",
+        "retries",
+        "breaker trips",
+        "dead-lettered",
+    ]);
+    for (label, ds) in &runs {
+        for (isp, m) in &ds.per_isp_metrics {
+            t.row(vec![
+                label.to_string(),
+                isp.to_string(),
+                format!("{:.3}", m.hit_rate()),
+                m.retries.to_string(),
+                m.breaker_trips.to_string(),
+                m.dead_lettered.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "chaos: 50% of requests dropped at the (virtual) network edge for the whole campaign —\nseeded retries with backoff + circuit breaking recover the hit rate, one-shot runs lose it\n\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::study::{resolve_cities, run_study, Scale};
+
+    #[test]
+    fn chaos_experiment_shows_recovery_ordering() {
+        let report = chaos(1);
+        // Pull each run's hit-rate column back out of the rendered table and
+        // check clean ≈ retries > one-shot for every ISP row.
+        let rates = |label: &str| -> Vec<f64> {
+            report
+                .lines()
+                .filter(|l| l.contains(label))
+                .map(|l| {
+                    l.split_whitespace()
+                        .find(|c| c.contains('.') && c.parse::<f64>().is_ok())
+                        .and_then(|c| c.parse().ok())
+                        .expect("hit-rate cell")
+                })
+                .collect()
+        };
+        let clean = rates("clean");
+        let retried = rates("faults + retries");
+        let oneshot = rates("faults, one-shot");
+        assert_eq!(clean.len(), 2, "{report}");
+        for ((c, r), o) in clean.iter().zip(&retried).zip(&oneshot) {
+            assert!(r >= &(c - 0.05), "retries did not recover: {report}");
+            assert!(o < &(c - 0.05), "one-shot did not degrade: {report}");
+        }
+    }
 
     #[test]
     fn drift_experiment_shows_break_and_recovery() {

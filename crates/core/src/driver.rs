@@ -126,9 +126,20 @@ pub fn query_address(
         // Send, with transient-failure and rate-limit retry handling.
         let mut attempts = 0u32;
         let response = loop {
-            let Ok((response, elapsed)) = transport.round_trip(&job.endpoint, src, &req, now)
-            else {
-                finish!(QueryOutcome::Failed, now, steps);
+            let (response, elapsed) = match transport.round_trip(&job.endpoint, src, &req, now) {
+                Ok(ok) => ok,
+                Err(e) if e.is_transient() => {
+                    // Injected timeout or connection reset: the wait on the
+                    // dead connection is charged, then the step is retried
+                    // like any other transient error.
+                    now += e.elapsed();
+                    attempts += 1;
+                    if attempts > config.transient_retries {
+                        finish!(QueryOutcome::Failed, now, steps);
+                    }
+                    continue;
+                }
+                Err(_) => finish!(QueryOutcome::Failed, now, steps),
             };
 
             // Charge the wait policy for this page load.

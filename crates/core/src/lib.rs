@@ -20,7 +20,11 @@
 //! * [`metrics`] — hit-rate and query-time bookkeeping per ISP;
 //! * [`orchestrator`] — the "docker containers" analogue: a discrete-event
 //!   pool of concurrent workers with residential-IP rotation and politeness
-//!   pacing (§4.1's scaling methodology);
+//!   pacing (§4.1's scaling methodology), plus job requeueing with dead
+//!   letters when a retry policy is attached;
+//! * [`retry`] — job-level robustness: capped exponential backoff with
+//!   seeded jitter, retry classification of outcomes, and per-endpoint
+//!   circuit breakers in virtual time;
 //! * [`strawman`] — the §3.2 baseline: a direct-API client that reuses one
 //!   session cookie and trips the BATs' safeguards, motivating BQT's
 //!   user-mimicry design.
@@ -30,6 +34,7 @@ pub mod drift;
 pub mod driver;
 pub mod metrics;
 pub mod orchestrator;
+pub mod retry;
 pub mod scrape;
 pub mod strawman;
 
@@ -37,5 +42,6 @@ pub use client::{BqtConfig, WaitPolicy};
 pub use drift::DriftMonitor;
 pub use driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
 pub use metrics::{HitRateReport, Metrics};
-pub use orchestrator::{Orchestrator, OrchestratorReport};
+pub use orchestrator::{DeadLetter, Orchestrator, OrchestratorReport};
+pub use retry::{is_retryable, BackoffPolicy, BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use scrape::{DetectedPage, ScrapedPlan, TemplateSet};

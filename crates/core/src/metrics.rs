@@ -12,6 +12,14 @@ pub struct Metrics {
     pub unserviceable: u64,
     pub blocked: u64,
     pub failed: u64,
+    /// Job-level retries the orchestrator scheduled. Retried attempts are
+    /// *not* re-recorded: `queried` still counts each address once, so
+    /// `hit_rate` keeps the paper's per-address semantics.
+    pub retries: u64,
+    /// Circuit-breaker trips (opens and re-opens) across endpoints.
+    pub breaker_trips: u64,
+    /// Jobs that exhausted their attempt budget and were dead-lettered.
+    pub dead_lettered: u64,
     /// Query resolution times of *hit* queries, in seconds.
     durations_s: Vec<f64>,
 }
@@ -44,6 +52,9 @@ impl Metrics {
         self.unserviceable += other.unserviceable;
         self.blocked += other.blocked;
         self.failed += other.failed;
+        self.retries += other.retries;
+        self.breaker_trips += other.breaker_trips;
+        self.dead_lettered += other.dead_lettered;
         self.durations_s.extend_from_slice(&other.durations_s);
     }
 
@@ -152,6 +163,85 @@ mod tests {
         assert_eq!(a.blocked, 1);
         assert_eq!(a.durations_s().len(), 2);
         assert!((a.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    fn robustness_sample(
+        retries: u64,
+        trips: u64,
+        dead: u64,
+        outcomes: &[QueryOutcome],
+    ) -> Metrics {
+        let mut m = Metrics::new();
+        for (i, o) in outcomes.iter().enumerate() {
+            m.record(&rec(o.clone(), 10 + i as u64));
+        }
+        m.retries = retries;
+        m.breaker_trips = trips;
+        m.dead_lettered = dead;
+        m
+    }
+
+    #[test]
+    fn merge_carries_the_robustness_counters() {
+        let mut a = robustness_sample(3, 1, 0, &[QueryOutcome::Plans(vec![plan()])]);
+        let b = robustness_sample(2, 0, 4, &[QueryOutcome::Failed]);
+        a.merge(&b);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.breaker_trips, 1);
+        assert_eq!(a.dead_lettered, 4);
+        // Retries do not inflate the per-address denominator.
+        assert_eq!(a.queried, 2);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutes() {
+        let a = robustness_sample(1, 0, 0, &[QueryOutcome::Plans(vec![plan()])]);
+        let b = robustness_sample(0, 2, 1, &[QueryOutcome::Blocked, QueryOutcome::NoService]);
+        let c = robustness_sample(
+            4,
+            1,
+            2,
+            &[QueryOutcome::Failed, QueryOutcome::Unserviceable],
+        );
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // Counters commute; the duration *sample* is a multiset, so compare
+        // its sorted form.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.retries, ba.retries);
+        assert_eq!(ab.breaker_trips, ba.breaker_trips);
+        assert_eq!(ab.dead_lettered, ba.dead_lettered);
+        assert_eq!(ab.queried, ba.queried);
+        let sorted = |m: &Metrics| {
+            let mut v = m.durations_s().to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        assert_eq!(sorted(&ab), sorted(&ba));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity() {
+        let a = robustness_sample(2, 1, 3, &[QueryOutcome::Plans(vec![plan()])]);
+        let mut merged = a.clone();
+        merged.merge(&Metrics::new());
+        assert_eq!(merged, a);
+        let mut other = Metrics::new();
+        other.merge(&a);
+        assert_eq!(other, a);
     }
 
     #[test]

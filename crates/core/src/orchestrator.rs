@@ -11,11 +11,13 @@
 //! 100 and 200 workers and compare the observed per-request response times.
 
 use crate::client::BqtConfig;
-use crate::driver::{query_address, QueryJob, QueryRecord};
+use crate::driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
 use crate::metrics::Metrics;
+use crate::retry::{is_retryable, CircuitBreaker, RetryPolicy};
 use bbsim_net::{EventQueue, IpPool, SimDuration, SimTime, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 
 /// Orchestration parameters.
 #[derive(Debug, Clone)]
@@ -26,23 +28,55 @@ pub struct Orchestrator {
     pub politeness: SimDuration,
     /// Per-run seed (drives MDU picks and worker jitter).
     pub seed: u64,
+    /// Job-level retry policy. `None` preserves the one-shot behaviour:
+    /// a failed query is final and no requeueing happens.
+    pub retry: Option<RetryPolicy>,
+}
+
+/// What the discrete-event loop schedules.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Worker `w` finished its politeness pause and wants a job.
+    WorkerFree(usize),
+    /// Job slot `j`'s backoff (or breaker cooldown) elapsed.
+    JobReady(usize),
 }
 
 impl Orchestrator {
     /// The paper's configuration: 50–100 containers; we default to 64.
+    /// Retries stay off so measured hit rates keep the paper's one-shot
+    /// per-address semantics.
     pub fn paper_default(seed: u64) -> Self {
         Self {
             n_workers: 64,
             politeness: SimDuration::from_secs(5),
             seed,
+            retry: None,
+        }
+    }
+
+    /// Paper defaults plus the default retry policy — the robust
+    /// configuration for campaigns over degraded networks.
+    pub fn with_retries(seed: u64) -> Self {
+        Self {
+            retry: Some(RetryPolicy::paper_default(seed)),
+            ..Self::paper_default(seed)
         }
     }
 
     /// Runs all `jobs` to completion and reports the results.
     ///
-    /// `pool` supplies source IPs; each job checks out the next address, so
-    /// per-IP request rates stay below BAT rate limits when the pool is
-    /// reasonably sized.
+    /// `pool` supplies source IPs; each attempt checks out the next
+    /// address, so per-IP request rates stay below BAT rate limits when
+    /// the pool is reasonably sized.
+    ///
+    /// With a retry policy set, jobs whose outcome is retryable
+    /// ([`QueryOutcome::Failed`] / [`QueryOutcome::Blocked`]) are requeued
+    /// with capped exponential backoff until the attempt budget runs out,
+    /// at which point the final record stands and the job is listed in
+    /// [`OrchestratorReport::dead_letters`]. A per-endpoint circuit
+    /// breaker defers traffic away from endpoints that are failing
+    /// consistently. Every address produces exactly one record either way.
     pub fn run(
         &self,
         transport: &mut Transport,
@@ -52,52 +86,135 @@ impl Orchestrator {
     ) -> OrchestratorReport {
         assert!(self.n_workers >= 1, "need at least one worker");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0C_0E57);
-        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut queue: EventQueue<Event> = EventQueue::new();
         // Stagger worker start times slightly so arrival bursts don't all
         // land on the same virtual millisecond.
         for w in 0..self.n_workers.min(jobs.len().max(1)) {
-            queue.push(SimTime::from_millis(w as u64 * 97), w);
+            queue.push(SimTime::from_millis(w as u64 * 97), Event::WorkerFree(w));
         }
 
-        let mut next_job = 0usize;
+        // Jobs waiting for a worker right now, in FIFO order.
+        let mut ready: VecDeque<usize> = (0..jobs.len()).collect();
+        // Workers with nothing to do, parked until a job becomes ready.
+        let mut idle_workers: Vec<usize> = Vec::new();
+        // Attempts consumed per job slot.
+        let mut attempts: Vec<u32> = vec![0; jobs.len()];
+        let mut breaker = self.retry.as_ref().map(|p| CircuitBreaker::new(p.breaker));
+
         let mut records: Vec<QueryRecord> = Vec::with_capacity(jobs.len());
+        let mut dead_letters: Vec<DeadLetter> = Vec::new();
         let mut metrics = Metrics::new();
         let mut makespan = SimTime::ZERO;
 
-        while let Some((now, _worker)) = queue.pop() {
-            if next_job >= jobs.len() {
-                continue; // worker retires
-            }
-            let job = &jobs[next_job];
-            next_job += 1;
+        while let Some((now, event)) = queue.pop() {
+            // Pair a free worker with a ready job, or park whichever side
+            // arrived without a counterpart.
+            let (worker, j) = match event {
+                Event::WorkerFree(w) => match ready.pop_front() {
+                    Some(j) => (w, j),
+                    None => {
+                        idle_workers.push(w);
+                        continue;
+                    }
+                },
+                Event::JobReady(j) => match idle_workers.pop() {
+                    Some(w) => (w, j),
+                    None => {
+                        ready.push_back(j);
+                        continue;
+                    }
+                },
+            };
+            let job = &jobs[j];
 
+            // An open circuit defers the job (not charging an attempt)
+            // until the breaker half-opens; the worker stays in rotation.
+            if let Some(b) = breaker.as_mut() {
+                if !b.allows(&job.endpoint, now) {
+                    let resume = b
+                        .reopen_time(&job.endpoint)
+                        .expect("closed circuits always allow")
+                        .max(now + SimDuration::from_millis(1));
+                    queue.push(resume, Event::JobReady(j));
+                    queue.push(now, Event::WorkerFree(worker));
+                    continue;
+                }
+            }
+
+            attempts[j] += 1;
             let src = pool.next();
             let rec = query_address(transport, config, job, src, now, &mut rng);
             let done = now + rec.duration;
             makespan = makespan.max(done);
-            metrics.record(&rec);
-            records.push(rec);
 
-            queue.push(done + self.politeness, _worker);
+            let mut requeued = false;
+            if let Some(policy) = &self.retry {
+                let failed = is_retryable(&rec.outcome);
+                if let Some(b) = breaker.as_mut() {
+                    if failed {
+                        if b.on_failure(&job.endpoint, done) {
+                            metrics.breaker_trips += 1;
+                        }
+                    } else {
+                        b.on_success(&job.endpoint);
+                    }
+                }
+                if failed {
+                    if attempts[j] < policy.max_attempts {
+                        metrics.retries += 1;
+                        let delay = policy.backoff.delay(job.tag, attempts[j]);
+                        queue.push(done + delay, Event::JobReady(j));
+                        requeued = true;
+                    } else {
+                        metrics.dead_lettered += 1;
+                        dead_letters.push(DeadLetter {
+                            tag: job.tag,
+                            attempts: attempts[j],
+                            last_outcome: rec.outcome.clone(),
+                        });
+                    }
+                }
+            }
+            if !requeued {
+                metrics.record(&rec);
+                records.push(rec);
+            }
+
+            queue.push(done + self.politeness, Event::WorkerFree(worker));
         }
 
         OrchestratorReport {
             records,
             metrics,
             makespan,
+            dead_letters,
         }
     }
+}
+
+/// A job that exhausted its attempt budget without a hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The job's correlation tag.
+    pub tag: u64,
+    /// Attempts consumed (equals the policy's budget).
+    pub attempts: u32,
+    /// The outcome of the final attempt.
+    pub last_outcome: QueryOutcome,
 }
 
 /// Everything an orchestrated run produced.
 #[derive(Debug, Clone)]
 pub struct OrchestratorReport {
-    /// Per-address records, in completion order.
+    /// Per-address records, in completion order. Exactly one per job,
+    /// retries or not.
     pub records: Vec<QueryRecord>,
     /// Aggregated counters.
     pub metrics: Metrics,
     /// Virtual time when the last query finished.
     pub makespan: SimTime,
+    /// Jobs whose retry budget ran dry (empty when retries are off).
+    pub dead_letters: Vec<DeadLetter>,
 }
 
 impl OrchestratorReport {
@@ -154,6 +271,7 @@ mod tests {
             n_workers: 16,
             politeness: SimDuration::from_secs(5),
             seed: 1,
+            retry: None,
         };
         let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
         let report = orch.run(&mut t, &config(), &jobs, &mut pool);
@@ -172,6 +290,7 @@ mod tests {
             n_workers: 1,
             politeness: SimDuration::from_secs(5),
             seed: 2,
+            retry: None,
         }
         .run(&mut t1, &config(), &jobs, &mut pool1);
 
@@ -181,6 +300,7 @@ mod tests {
             n_workers: 50,
             politeness: SimDuration::from_secs(5),
             seed: 2,
+            retry: None,
         }
         .run(&mut t2, &config(), &jobs2, &mut pool2);
 
@@ -204,6 +324,7 @@ mod tests {
                 n_workers: n,
                 politeness: SimDuration::from_secs(5),
                 seed: 3,
+                retry: None,
             }
             .run(&mut t, &config(), &jobs, &mut pool);
             means.push(report.mean_hit_duration_s().unwrap());
@@ -223,6 +344,7 @@ mod tests {
             n_workers: 100,
             politeness: SimDuration::from_secs(1),
             seed: 4,
+            retry: None,
         }
         .run(&mut t, &config(), &jobs, &mut pool);
         assert!(
@@ -253,6 +375,7 @@ mod tests {
             n_workers: 64,
             politeness: SimDuration::from_secs(1),
             seed: 6,
+            retry: None,
         };
         let mut pool = IpPool::residential(8, RotationPolicy::RoundRobin, 6);
         let report = orch.run(&mut t, &config(), &few, &mut pool);

@@ -1,0 +1,311 @@
+//! Job-level retry machinery: backoff, outcome classification, breakers.
+//!
+//! The driver ([`crate::driver`]) already retries *within* a query — a 429
+//! or a flaky page load gets a couple of in-step attempts. This module is
+//! the layer above: when a whole query ends [`QueryOutcome::Failed`] or
+//! [`QueryOutcome::Blocked`], the orchestrator can requeue the job with
+//! capped exponential backoff, and a per-endpoint circuit breaker stops it
+//! from hammering a BAT that is clearly down.
+//!
+//! Everything here is a pure function of the policy seed and the inputs:
+//! backoff delays are derived by hashing `(seed, tag, attempt)`, not by
+//! consuming a shared RNG, so a job's retry schedule does not depend on
+//! what other jobs did — a property the chaos tests rely on.
+
+use crate::driver::QueryOutcome;
+use bbsim_net::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Capped exponential backoff with seeded, bounded jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Upper bound on any delay.
+    pub cap: SimDuration,
+    /// Jitter width as a fraction of the exponential delay, clamped to
+    /// `[0, 0.5]` so the schedule stays monotone non-decreasing: with
+    /// jitter `j`, step `k` is at most `2^k·(1+j/2)·base` and step `k+1`
+    /// at least `2^(k+1)·(1−j/2)·base`, which is larger whenever
+    /// `j ≤ 2/3`.
+    pub jitter: f64,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// Defaults matched to the BATs' observed recovery times: first retry
+    /// after ~5s, doubling to a 2-minute ceiling, ±12.5% jitter.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            base: SimDuration::from_secs(5),
+            cap: SimDuration::from_secs(120),
+            jitter: 0.25,
+            seed,
+        }
+    }
+
+    /// The delay to wait before retry number `attempt` (1-based) of the
+    /// job tagged `tag`. Pure: same `(seed, tag, attempt)`, same delay.
+    pub fn delay(&self, tag: u64, attempt: u32) -> SimDuration {
+        assert!(attempt >= 1, "attempt numbering is 1-based");
+        let exp_ms = (self.base.as_millis() as f64) * 2f64.powi(attempt as i32 - 1);
+        let jitter = self.jitter.clamp(0.0, 0.5);
+        // splitmix64-style mix of (seed, tag, attempt) -> unit float.
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag.rotate_left(17))
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let factor = 1.0 - jitter / 2.0 + jitter * unit;
+        let ms = (exp_ms * factor).min(self.cap.as_millis() as f64);
+        SimDuration::from_millis(ms.round() as u64)
+    }
+}
+
+/// Whether a terminal outcome is worth another attempt.
+///
+/// `Failed` (transport faults, 500s, unrecognized pages) and `Blocked`
+/// (rate limiting that may lift) are transient. `Plans` and `NoService`
+/// are hits, and `Unserviceable` is an authoritative property of the
+/// address — retrying any of those would re-ask a question that was
+/// already answered.
+pub fn is_retryable(outcome: &QueryOutcome) -> bool {
+    matches!(outcome, QueryOutcome::Failed | QueryOutcome::Blocked)
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures on one endpoint that open its circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit rejects traffic before allowing one
+    /// half-open probe.
+    pub cooldown: SimDuration,
+}
+
+impl BreakerConfig {
+    pub fn paper_default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// The full retry policy the orchestrator runs under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    pub backoff: BackoffPolicy,
+    /// Total attempts a job may consume, including the first (≥ 1).
+    pub max_attempts: u32,
+    pub breaker: BreakerConfig,
+}
+
+impl RetryPolicy {
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            backoff: BackoffPolicy::paper_default(seed),
+            max_attempts: 4,
+            breaker: BreakerConfig::paper_default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    /// While `Some`, the circuit is open (or half-open once past it).
+    open_until: Option<SimTime>,
+    /// A half-open probe is in flight; further traffic stays rejected.
+    probing: bool,
+}
+
+/// Per-endpoint circuit breaker in virtual time.
+///
+/// Closed → open after `failure_threshold` consecutive failures; open →
+/// half-open after `cooldown`, letting exactly one probe through; the
+/// probe's outcome either closes the circuit or re-opens it for another
+/// cooldown.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    states: HashMap<String, BreakerState>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            states: HashMap::new(),
+            trips: 0,
+        }
+    }
+
+    /// Whether a request to `endpoint` may proceed at `now`. A half-open
+    /// circuit admits one probe; callers must report that probe's outcome
+    /// via [`on_success`](Self::on_success) / [`on_failure`](Self::on_failure).
+    pub fn allows(&mut self, endpoint: &str, now: SimTime) -> bool {
+        let Some(state) = self.states.get_mut(endpoint) else {
+            return true;
+        };
+        match state.open_until {
+            None => true,
+            Some(until) if now < until => false,
+            Some(_) if state.probing => false,
+            Some(_) => {
+                state.probing = true;
+                true
+            }
+        }
+    }
+
+    /// Earliest instant a rejected endpoint will admit a probe, if its
+    /// circuit is currently open.
+    pub fn reopen_time(&self, endpoint: &str) -> Option<SimTime> {
+        self.states.get(endpoint).and_then(|s| s.open_until)
+    }
+
+    /// Records a successful exchange: closes the circuit.
+    pub fn on_success(&mut self, endpoint: &str) {
+        if let Some(state) = self.states.get_mut(endpoint) {
+            *state = BreakerState::default();
+        }
+    }
+
+    /// Records a failed exchange. Returns `true` when this failure tripped
+    /// the circuit open (including a failed half-open probe re-opening it).
+    pub fn on_failure(&mut self, endpoint: &str, now: SimTime) -> bool {
+        let state = self.states.entry(endpoint.to_string()).or_default();
+        state.consecutive_failures += 1;
+        let was_open = state.open_until.is_some();
+        let should_open = if was_open {
+            // A failed half-open probe re-opens immediately.
+            state.probing
+        } else {
+            state.consecutive_failures >= self.config.failure_threshold
+        };
+        if should_open {
+            state.open_until = Some(now + self.config.cooldown);
+            state.probing = false;
+            self.trips += 1;
+            return true;
+        }
+        false
+    }
+
+    /// How many times any circuit opened (or re-opened).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_pure_and_monotone() {
+        let p = BackoffPolicy::paper_default(42);
+        let schedule: Vec<u64> = (1..=8).map(|a| p.delay(9, a).as_millis()).collect();
+        assert_eq!(
+            schedule,
+            (1..=8)
+                .map(|a| p.delay(9, a).as_millis())
+                .collect::<Vec<_>>()
+        );
+        for w in schedule.windows(2) {
+            assert!(w[0] <= w[1], "schedule not monotone: {schedule:?}");
+        }
+        assert!(schedule.iter().all(|&d| d <= p.cap.as_millis()));
+    }
+
+    #[test]
+    fn backoff_differs_across_tags_and_seeds() {
+        let p = BackoffPolicy::paper_default(1);
+        let q = BackoffPolicy::paper_default(2);
+        assert_ne!(p.delay(1, 1), p.delay(2, 1), "tags decorrelate");
+        assert_ne!(p.delay(1, 1), q.delay(1, 1), "seeds decorrelate");
+    }
+
+    #[test]
+    fn classification_retries_failures_not_answers() {
+        assert!(is_retryable(&QueryOutcome::Failed));
+        assert!(is_retryable(&QueryOutcome::Blocked));
+        assert!(!is_retryable(&QueryOutcome::NoService));
+        assert!(!is_retryable(&QueryOutcome::Unserviceable));
+        assert!(!is_retryable(&QueryOutcome::Plans(vec![])));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens() {
+        let cfg = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(10),
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::ZERO;
+        assert!(b.allows("e", t0));
+        assert!(!b.on_failure("e", t0));
+        assert!(!b.on_failure("e", t0));
+        assert!(b.on_failure("e", t0), "third failure trips");
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allows("e", t0 + SimDuration::from_secs(5)), "open");
+        let half_open = t0 + SimDuration::from_secs(10);
+        assert!(b.allows("e", half_open), "one probe admitted");
+        assert!(!b.allows("e", half_open), "second probe rejected");
+        // Probe succeeds: circuit closes fully.
+        b.on_success("e");
+        assert!(b.allows("e", half_open));
+        assert!(b.allows("e", half_open));
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let cfg = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: SimDuration::from_secs(10),
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.on_failure("e", SimTime::ZERO);
+        b.on_failure("e", SimTime::ZERO);
+        assert_eq!(b.trips(), 1);
+        let probe_at = SimTime::ZERO + SimDuration::from_secs(10);
+        assert!(b.allows("e", probe_at));
+        assert!(b.on_failure("e", probe_at), "failed probe re-opens");
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allows("e", probe_at + SimDuration::from_secs(9)));
+        assert_eq!(
+            b.reopen_time("e"),
+            Some(probe_at + SimDuration::from_secs(10))
+        );
+    }
+
+    #[test]
+    fn breakers_are_per_endpoint() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(10),
+        });
+        b.on_failure("down", SimTime::ZERO);
+        assert!(!b.allows("down", SimTime::ZERO));
+        assert!(b.allows("healthy", SimTime::ZERO));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: SimDuration::from_secs(10),
+        });
+        b.on_failure("e", SimTime::ZERO);
+        b.on_success("e");
+        assert!(!b.on_failure("e", SimTime::ZERO), "streak restarted");
+        assert_eq!(b.trips(), 0);
+    }
+}

@@ -5,8 +5,8 @@ use bbsim_address::matching::Measure;
 use bbsim_bat::{templates, BatServer};
 use bbsim_census::{city_seed, CityProfile};
 use bbsim_isp::{CityWorld, Isp};
-use bbsim_net::{Endpoint, IpPool, RotationPolicy, SimDuration, Transport};
-use bqt::{BqtConfig, Metrics, Orchestrator, QueryJob, QueryOutcome};
+use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, Transport};
+use bqt::{BqtConfig, Metrics, Orchestrator, QueryJob, QueryOutcome, RetryPolicy};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -30,6 +30,10 @@ pub struct CurationOptions {
     /// World epoch in months (0 = the study's first snapshot); drives the
     /// §4.3 staleness experiment.
     pub epoch: u32,
+    /// Job-level retry policy handed to the orchestrator. `None` keeps the
+    /// paper's one-shot semantics; chaos runs set it to recover hit rate
+    /// under injected faults.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl CurationOptions {
@@ -44,6 +48,7 @@ impl CurationOptions {
             seed,
             measure: Measure::TokenSort,
             epoch: 0,
+            retry: None,
         }
     }
 
@@ -59,7 +64,14 @@ impl CurationOptions {
             seed,
             measure: Measure::TokenSort,
             epoch: 0,
+            retry: None,
         }
+    }
+
+    /// The same options with a retry policy attached.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 }
 
@@ -91,12 +103,27 @@ impl CityDataset {
 
 /// Curates one city: the paper's §4.1 methodology over the simulated web.
 pub fn curate_city(city: &'static CityProfile, opts: &CurationOptions) -> CityDataset {
+    curate_city_with_faults(city, opts, None)
+}
+
+/// [`curate_city`] over a degraded network: the fault `plan`, if any, is
+/// attached to the transport before the BAT fleet comes up, so every
+/// scheduled timeout, reset, storm or brownout hits the run's virtual
+/// timeline. Used by the chaos tests and the `repro chaos` experiment.
+pub fn curate_city_with_faults(
+    city: &'static CityProfile,
+    opts: &CurationOptions,
+    plan: Option<FaultPlan>,
+) -> CityDataset {
     assert!(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0);
     assert!(opts.workers >= 1);
 
     let world = Arc::new(CityWorld::build_at(city, opts.epoch));
     let run_seed = city_seed(city.name) ^ opts.seed.rotate_left(16) ^ ((opts.epoch as u64) << 1);
     let mut transport = Transport::new(run_seed);
+    if let Some(plan) = plan {
+        transport.set_fault_plan(plan);
+    }
 
     // Stand the BAT fleet up.
     for isp in world.isps() {
@@ -154,6 +181,7 @@ pub fn curate_city(city: &'static CityProfile, opts: &CurationOptions) -> CityDa
             n_workers: opts.workers,
             politeness: SimDuration::from_secs(5),
             seed: run_seed ^ (isp.column() as u64),
+            retry: opts.retry,
         };
         let report = orch.run(&mut transport, &config, &jobs, &mut pool);
 

@@ -110,7 +110,7 @@ impl CablePricing {
         );
         let n = grid.len();
         let seed = city_seed(city.name) ^ (isp.column() as u64) << 48;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9C1_CE);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9C1CE);
 
         if isp == Isp::Xfinity {
             // Location-invariant: full ladder everywhere, nothing else.
@@ -160,7 +160,7 @@ impl CablePricing {
 
         // Promo blob: city-dependent clustered fraction, re-rolled each
         // epoch from its own stream.
-        let mut promo_rng = StdRng::seed_from_u64(seed ^ 0x9801_40 ^ ((epoch as u64) << 8));
+        let mut promo_rng = StdRng::seed_from_u64(seed ^ 0x980140 ^ ((epoch as u64) << 8));
         let rng = &mut promo_rng;
         let promo_frac = match isp {
             Isp::Spectrum => rng.gen_range(0.03..0.40),

@@ -77,6 +77,7 @@ impl IpPool {
     }
 
     /// Checks out the next address according to the rotation policy.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> SimIp {
         match self.policy {
             RotationPolicy::RoundRobin => {

@@ -18,6 +18,9 @@
 //!   codec;
 //! * **IP pool** ([`ip`]) — the residential-proxy pool analogue, with
 //!   rotation policies;
+//! * **fault injection** ([`fault`]) — seeded schedules of timeouts,
+//!   connection resets, rate-limit storms and server brownouts on the
+//!   virtual timeline, for exercising retry machinery reproducibly;
 //! * **event queue** ([`sim`]) — a discrete-event scheduler used by the
 //!   orchestrator to interleave many concurrent "containers" on one virtual
 //!   timeline;
@@ -27,6 +30,7 @@
 //! Determinism: every random draw flows from a caller-provided seed.
 
 pub mod clock;
+pub mod fault;
 pub mod frame;
 pub mod http;
 pub mod ip;
@@ -35,9 +39,10 @@ pub mod sim;
 pub mod transport;
 
 pub use clock::{SimDuration, SimTime};
+pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use frame::{FrameCodec, FrameError};
 pub use http::{Method, Request, Response, Status};
 pub use ip::{IpPool, RotationPolicy, SimIp};
 pub use latency::LatencyModel;
 pub use sim::EventQueue;
-pub use transport::{Endpoint, Exchange, Service, Transport};
+pub use transport::{Endpoint, Exchange, Service, Transport, TransportError};

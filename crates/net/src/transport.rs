@@ -10,8 +10,9 @@
 //! in production figures.
 
 use crate::clock::{SimDuration, SimTime};
+use crate::fault::{FaultAction, FaultPlan};
 use crate::frame::FrameCodec;
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, Status};
 use crate::ip::SimIp;
 use crate::latency::LatencyModel;
 use bytes::BytesMut;
@@ -57,6 +58,32 @@ pub enum TransportError {
     UnknownEndpoint(String),
     /// The peer's bytes did not parse as a wire message.
     Garbled(String),
+    /// An injected fault swallowed the request; the client waited `after`
+    /// of virtual time before giving up.
+    Timeout { after: SimDuration },
+    /// An injected fault tore the connection down `after` into the
+    /// exchange.
+    ConnectionReset { after: SimDuration },
+}
+
+impl TransportError {
+    /// Whether a retry could plausibly succeed. Timeouts and resets are
+    /// transient network conditions; unknown endpoints and garbled frames
+    /// are logic errors that no retry will fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Timeout { .. } | TransportError::ConnectionReset { .. }
+        )
+    }
+
+    /// Virtual time the client burned before this error surfaced.
+    pub fn elapsed(&self) -> SimDuration {
+        match self {
+            TransportError::Timeout { after } | TransportError::ConnectionReset { after } => *after,
+            _ => SimDuration::ZERO,
+        }
+    }
 }
 
 impl fmt::Display for TransportError {
@@ -64,6 +91,10 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::UnknownEndpoint(n) => write!(f, "no endpoint named {n:?}"),
             TransportError::Garbled(e) => write!(f, "garbled wire message: {e}"),
+            TransportError::Timeout { after } => write!(f, "request timed out after {after}"),
+            TransportError::ConnectionReset { after } => {
+                write!(f, "connection reset after {after}")
+            }
         }
     }
 }
@@ -75,6 +106,7 @@ pub struct Transport {
     endpoints: HashMap<String, Endpoint>,
     rng: StdRng,
     codec: FrameCodec,
+    faults: Option<FaultPlan>,
 }
 
 impl Transport {
@@ -83,6 +115,7 @@ impl Transport {
             endpoints: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             codec: FrameCodec,
+            faults: None,
         }
     }
 
@@ -93,6 +126,20 @@ impl Transport {
 
     pub fn has_endpoint(&self, name: &str) -> bool {
         self.endpoints.contains_key(name)
+    }
+
+    /// Attaches (or replaces) the fault-injection schedule.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes any attached fault schedule.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Sends `req` from `src` to `endpoint` at virtual time `now`.
@@ -110,6 +157,33 @@ impl Transport {
             .endpoints
             .get_mut(endpoint)
             .ok_or_else(|| TransportError::UnknownEndpoint(endpoint.to_string()))?;
+
+        // Consult the fault schedule before any work happens: preempting
+        // faults never reach the service, so a timed-out request leaves no
+        // server-side trace (no session, no rate-limit charge).
+        let mut degrade: Option<(f64, bool)> = None;
+        if let Some(plan) = &mut self.faults {
+            match plan.intercept(endpoint, now) {
+                Some(FaultAction::Timeout { after }) => {
+                    return Err(TransportError::Timeout { after });
+                }
+                Some(FaultAction::Reset { after }) => {
+                    return Err(TransportError::ConnectionReset { after });
+                }
+                Some(FaultAction::SyntheticRateLimit) => {
+                    // The anti-bot layer answers from the edge: one network
+                    // round trip, no server processing.
+                    let leg_out = ep.network.sample(&mut self.rng);
+                    let leg_back = ep.network.sample(&mut self.rng);
+                    return Ok((Response::new(Status::TooManyRequests), leg_out + leg_back));
+                }
+                Some(FaultAction::Degrade {
+                    latency_factor,
+                    fail,
+                }) => degrade = Some((latency_factor, fail)),
+                None => {}
+            }
+        }
 
         // Request leg: encode, frame, decode, parse — the server sees only
         // what survived the wire.
@@ -146,7 +220,18 @@ impl Transport {
             Response::from_wire(rwire).map_err(|e| TransportError::Garbled(e.to_string()))?;
 
         let leg_back = ep.network.sample(&mut self.rng);
-        Ok((parsed_resp, leg_out + processing + leg_back))
+        let mut elapsed = leg_out + processing + leg_back;
+
+        // Brownout: the work already happened (and mutated server state),
+        // but it happened slowly, and under load some renders die as 500s.
+        if let Some((latency_factor, fail)) = degrade {
+            elapsed = SimDuration::from_secs_f64(elapsed.as_secs_f64() * latency_factor);
+            if fail {
+                return Ok((Response::new(Status::ServerError), elapsed));
+            }
+        }
+
+        Ok((parsed_resp, elapsed))
     }
 }
 
@@ -259,6 +344,116 @@ mod tests {
         };
         assert_eq!(run(7), run(7), "same seed, same timings");
         assert_ne!(run(7), run(8), "different seed, different timings");
+    }
+
+    #[test]
+    fn fault_timeout_preempts_the_service() {
+        use crate::fault::FaultPlan;
+        let mut t = Transport::new(5);
+        t.register(
+            "cox",
+            Endpoint::new(
+                Box::new(Counter(0)),
+                LatencyModel::constant(SimDuration::ZERO),
+            ),
+        );
+        t.set_fault_plan(FaultPlan::new(1).lossy_network(
+            SimTime::ZERO,
+            SimTime::from_millis(10_000),
+            1.0,
+        ));
+        let err = t
+            .round_trip("cox", client_ip(), &Request::get("/"), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { .. }));
+        assert!(err.is_transient());
+        assert!(err.elapsed() > SimDuration::ZERO);
+
+        // After the window the very same transport works, and the counter
+        // proves the faulted request never reached the server.
+        let (resp, _) = t
+            .round_trip(
+                "cox",
+                client_ip(),
+                &Request::get("/"),
+                SimTime::from_millis(10_000),
+            )
+            .unwrap();
+        assert_eq!(resp.body, "1");
+    }
+
+    #[test]
+    fn rate_limit_storm_synthesizes_429_at_the_edge() {
+        use crate::fault::FaultPlan;
+        let mut t = Transport::new(6);
+        t.register(
+            "cox",
+            Endpoint::new(
+                Box::new(Counter(0)),
+                LatencyModel::constant(SimDuration::from_millis(40)),
+            ),
+        );
+        t.set_fault_plan(FaultPlan::new(2).rate_limit_storm(
+            "cox",
+            SimTime::ZERO,
+            SimTime::from_millis(1000),
+        ));
+        let (resp, elapsed) = t
+            .round_trip("cox", client_ip(), &Request::get("/"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(resp.status, Status::TooManyRequests);
+        assert_eq!(elapsed.as_millis(), 80, "two legs, no processing");
+    }
+
+    #[test]
+    fn brownout_stretches_latency_and_can_500() {
+        use crate::fault::FaultPlan;
+        let clean = {
+            let mut t = Transport::new(7);
+            t.register(
+                "e",
+                Endpoint::new(
+                    Box::new(Echo),
+                    LatencyModel::constant(SimDuration::from_millis(50)),
+                ),
+            );
+            t.round_trip("e", client_ip(), &Request::get("/"), SimTime::ZERO)
+                .unwrap()
+                .1
+        };
+        let mut t = Transport::new(7);
+        t.register(
+            "e",
+            Endpoint::new(
+                Box::new(Echo),
+                LatencyModel::constant(SimDuration::from_millis(50)),
+            ),
+        );
+        t.set_fault_plan(FaultPlan::new(3).brownout(
+            "e",
+            SimTime::ZERO,
+            SimTime::from_millis(1000),
+            4.0,
+            0.0,
+        ));
+        let (resp, elapsed) = t
+            .round_trip("e", client_ip(), &Request::get("/"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok, "error_rate 0 never 500s");
+        assert_eq!(elapsed.as_millis(), clean.as_millis() * 4);
+
+        // With error_rate 1.0 every browned-out request dies as a 500.
+        t.set_fault_plan(FaultPlan::new(4).brownout(
+            "e",
+            SimTime::ZERO,
+            SimTime::from_millis(1000),
+            1.0,
+            1.0,
+        ));
+        let (resp, _) = t
+            .round_trip("e", client_ip(), &Request::get("/"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(resp.status, Status::ServerError);
     }
 
     #[test]

@@ -392,7 +392,7 @@ mod geary_tests {
         let w = grid_weights(k);
         let local = local_morans_i(&values, &w).unwrap();
         // A deep-interior cell of the left patch: all neighbours identical.
-        let interior = 1 * k + 1;
+        let interior = k + 1;
         assert!(local[interior] > 0.0, "interior LISA {}", local[interior]);
     }
 }

@@ -142,19 +142,19 @@ mod tests {
         // 30-dim comparison; ours only models three buckets so we check
         // ordering, not the exact figure).
         let nola: Vec<f64> = std::iter::empty()
-            .chain(std::iter::repeat(10.5).take(35))
-            .chain(std::iter::repeat(11.3).take(12))
-            .chain(std::iter::repeat(14.6).take(53))
+            .chain(std::iter::repeat_n(10.5, 35))
+            .chain(std::iter::repeat_n(11.3, 12))
+            .chain(std::iter::repeat_n(14.6, 53))
             .collect();
         let wichita: Vec<f64> = std::iter::empty()
-            .chain(std::iter::repeat(10.5).take(4))
-            .chain(std::iter::repeat(11.3).take(21))
-            .chain(std::iter::repeat(14.6).take(75))
+            .chain(std::iter::repeat_n(10.5, 4))
+            .chain(std::iter::repeat_n(11.3, 21))
+            .chain(std::iter::repeat_n(14.6, 75))
             .collect();
         let okc: Vec<f64> = std::iter::empty()
-            .chain(std::iter::repeat(10.5).take(12))
-            .chain(std::iter::repeat(11.3).take(6))
-            .chain(std::iter::repeat(14.6).take(82))
+            .chain(std::iter::repeat_n(10.5, 12))
+            .chain(std::iter::repeat_n(11.3, 6))
+            .chain(std::iter::repeat_n(14.6, 82))
             .collect();
         let vn = PlanVector::from_carriage_values(&nola).unwrap();
         let vw = PlanVector::from_carriage_values(&wichita).unwrap();

@@ -7,11 +7,12 @@
 //! Run with: `cargo run --release --example full_study [-- --all]`
 
 use decoding_divide::analysis::{
-    fiber_by_income, l1_pairs, morans_i_for_isp, plan_vector_for, test_competition,
-    CompetitionMode,
+    fiber_by_income, l1_pairs, morans_i_for_isp, plan_vector_for, test_competition, CompetitionMode,
 };
 use decoding_divide::census::{city_by_name, CityProfile, ALL_CITIES};
-use decoding_divide::dataset::{aggregate_block_groups, curate_city, BlockGroupRow, CurationOptions};
+use decoding_divide::dataset::{
+    aggregate_block_groups, curate_city, BlockGroupRow, CurationOptions,
+};
 use decoding_divide::isp::Isp;
 use decoding_divide::stats::median;
 
@@ -27,10 +28,18 @@ fn main() {
     let cities: Vec<&'static CityProfile> = if all {
         ALL_CITIES.iter().collect()
     } else {
-        ["New Orleans", "Wichita", "Oklahoma City", "Billings", "Durham", "Tampa", "Fargo"]
-            .iter()
-            .map(|n| city_by_name(n).expect("study city"))
-            .collect()
+        [
+            "New Orleans",
+            "Wichita",
+            "Oklahoma City",
+            "Billings",
+            "Durham",
+            "Tampa",
+            "Fargo",
+        ]
+        .iter()
+        .map(|n| city_by_name(n).expect("study city"))
+        .collect()
     };
 
     println!("curating {} cities (quick scale) ...", cities.len());
@@ -79,12 +88,17 @@ fn main() {
     let mut tests = 0;
     for (city, rows) in &per_city {
         let isps = isps_of(city);
-        let Some(cable) = isps.iter().copied().find(|i| i.is_cable() && *i != Isp::Xfinity)
+        let Some(cable) = isps
+            .iter()
+            .copied()
+            .find(|i| i.is_cable() && *i != Isp::Xfinity)
         else {
             continue;
         };
         let rival = isps.iter().copied().find(|i| !i.is_cable());
-        let Some(report) = test_competition(rows, cable, rival) else { continue };
+        let Some(report) = test_competition(rows, cable, rival) else {
+            continue;
+        };
         if let Some(fiber) = report
             .comparisons
             .iter()
@@ -105,7 +119,10 @@ fn main() {
     // Finding 4: fiber follows income.
     let mut gaps = Vec::new();
     for (city, rows) in &per_city {
-        for isp in isps_of(city).into_iter().filter(|i| !i.is_cable() && *i != Isp::Frontier) {
+        for isp in isps_of(city)
+            .into_iter()
+            .filter(|i| !i.is_cable() && *i != Isp::Frontier)
+        {
             if let Some(b) = fiber_by_income(city, rows, isp) {
                 gaps.push(b.gap_points());
             }

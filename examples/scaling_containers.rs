@@ -51,6 +51,7 @@ fn main() {
             n_workers: workers,
             politeness: SimDuration::from_secs(5),
             seed: 9,
+            retry: None,
         };
         let report = orch.run(&mut transport, &config, &jobs, &mut pool);
         println!(
@@ -73,6 +74,7 @@ fn main() {
         n_workers: 200,
         politeness: SimDuration::from_secs(1),
         seed: 9,
+        retry: None,
     };
     let report = orch.run(&mut transport, &config, &jobs, &mut pool);
     println!(

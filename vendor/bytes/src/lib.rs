@@ -1,0 +1,234 @@
+//! Offline subset of the `bytes` crate API.
+//!
+//! Provides [`BytesMut`]/[`Bytes`] plus the [`Buf`]/[`BufMut`] trait
+//! methods the framing codec uses. Backed by a plain `Vec<u8>` with a
+//! consumed-prefix cursor, which is plenty for the simulator's in-memory
+//! wire path; the zero-copy reference counting of the real crate is not
+//! reproduced.
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (the result of [`BytesMut::freeze`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: Vec<u8>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            inner: data.to_vec(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(inner: Vec<u8>) -> Self {
+        Self { inner }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+/// A growable byte buffer with an incremental read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.inner.extend_from_slice(data);
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_to out of bounds");
+        let rest = self.inner.split_off(at);
+        let head = std::mem::replace(&mut self.inner, rest);
+        BytesMut { inner: head }
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { inner: self.inner }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            inner: data.to_vec(),
+        }
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+
+    /// Discards the first `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.inner.len(), "advance out of bounds");
+        self.inner.drain(..cnt);
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.inner.len() >= 4, "get_u32 on short buffer");
+        let v = u32::from_be_bytes([self.inner[0], self.inner[1], self.inner[2], self.inner[3]]);
+        self.advance(4);
+        v
+    }
+}
+
+/// Write-side append operations (big-endian, like the real crate).
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_split_then_freeze() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(5);
+        buf.put_slice(b"hello tail");
+        assert_eq!(buf.len(), 14);
+        buf.advance(4);
+        let head = buf.split_to(5).freeze();
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&buf[..], b" tail");
+    }
+
+    #[test]
+    fn indexing_and_iteration_via_deref() {
+        let buf = BytesMut::from(&b"abc"[..]);
+        assert_eq!(buf[0], b'a');
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), b"abc");
+    }
+
+    #[test]
+    fn get_u32_round_trips_put_u32() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0xDEAD_BEEF);
+        assert_eq!(buf.get_u32(), 0xDEAD_BEEF);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "advance out of bounds")]
+    fn advance_past_end_panics() {
+        BytesMut::from(&b"ab"[..]).advance(3);
+    }
+}

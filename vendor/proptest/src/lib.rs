@@ -1,0 +1,192 @@
+//! Offline subset of the `proptest` API.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of proptest its test suites use: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, `prop_assert!`/`prop_assert_eq!`, range and
+//! tuple strategies, regex-pattern string strategies, `collection::vec`,
+//! `option::of`, `any::<T>()` and `prop_map`.
+//!
+//! Semantics: each test runs `cases` generated inputs drawn from a
+//! deterministic per-(test, case) RNG, so failures are reproducible run to
+//! run. There is no shrinking — the failing case prints its message and
+//! panics as-is — and no persistence (`.proptest-regressions` files are
+//! ignored).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_munch!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_munch!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                    let mut __proptest_rng = $crate::test_runner::case_rng(test_path, case as u64);
+                    $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!("proptest case {case} of {} failed: {message}", test_path);
+                }
+            }
+        }
+        $crate::__proptest_munch!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $binding:pat in $strat:expr $(,)?) => {
+        let $binding = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $binding:pat in $strat:expr, $($rest:tt)+) => {
+        let $binding = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+}
+
+/// Asserts inside a [`proptest!`] body, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Bindings, ranges, tuples and vec strategies all compose.
+        #[test]
+        fn kitchen_sink(
+            x in 0u32..100,
+            (a, b) in (0u8..10, 0.0f64..1.0),
+            mut xs in crate::collection::vec(any::<u8>(), 1..20),
+            name in "[a-z]{1,8}",
+            maybe in crate::option::of(0u64..5),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!((1..=8).contains(&name.len()));
+            prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+            if let Some(m) = maybe {
+                prop_assert!(m < 5);
+            }
+        }
+
+        /// prop_map works through the prelude's Strategy import.
+        #[test]
+        fn mapping(tripled in (0u32..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(tripled % 3, 0);
+            prop_assert_ne!(tripled, 31);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            let config = ProptestConfig::with_cases(8);
+            for case in 0..config.cases {
+                let outcome: Result<(), String> = (|| {
+                    let mut rng = crate::test_runner::case_rng("doomed", case as u64);
+                    let v = crate::strategy::Strategy::generate(&(0u32..10), &mut rng);
+                    prop_assert!(v > 100, "v was {v}");
+                    Ok(())
+                })();
+                if let Err(message) = outcome {
+                    panic!("proptest case {case} failed: {message}");
+                }
+            }
+        });
+        let err = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(err.contains("proptest case 0 failed"), "{err}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Option strategies: `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Wraps `inner` so roughly 3 in 4 cases are `Some` (matching real
+/// proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let drawn: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(drawn.iter().any(|v| v.is_some()));
+        assert!(drawn.iter().any(|v| v.is_none()));
+    }
+}

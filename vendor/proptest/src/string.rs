@@ -1,0 +1,331 @@
+//! A generator for the regex subset proptest string strategies use here.
+//!
+//! Supported syntax: literals, `\n`/`\t`/`\r`/`\\` escapes, groups with
+//! alternation `(a|b)`, character classes with ranges, negation and `&&`
+//! intersection (`[ -~&&[^\r]]`), and the quantifiers `?`, `*`, `+`,
+//! `{n}`, `{m,n}`. Unbounded quantifiers are capped at 8 repetitions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Parsed alternatives: each is a sequence of (atom, min, max) repeats.
+type Alternatives = Vec<Vec<(Node, u32, u32)>>;
+
+/// One parsed regex alternative: a sequence of quantified atoms.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Literal character.
+    Char(char),
+    /// Character class, expanded to its member set.
+    Class(Vec<char>),
+    /// Group of alternatives.
+    Group(Alternatives),
+}
+
+/// A parsed pattern: alternatives of `(atom, min, max)` sequences.
+#[derive(Debug, Clone)]
+pub struct RegexPattern {
+    alternatives: Vec<Vec<(Node, u32, u32)>>,
+}
+
+/// The universe for negated classes: printable ASCII plus common escapes.
+fn universe() -> Vec<char> {
+    let mut u: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+    u.extend(['\n', '\t', '\r']);
+    u
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Self {
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn parse_alternatives(&mut self, in_group: bool) -> Result<Alternatives, String> {
+        let mut alts = vec![Vec::new()];
+        loop {
+            match self.chars.peek() {
+                None => {
+                    if in_group {
+                        return Err("unterminated group".into());
+                    }
+                    return Ok(alts);
+                }
+                Some(')') if in_group => {
+                    self.chars.next();
+                    return Ok(alts);
+                }
+                Some(')') => return Err("unbalanced ')'".into()),
+                Some('|') => {
+                    self.chars.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = self.parse_atom()?;
+                    let (min, max) = self.parse_quantifier()?;
+                    alts.last_mut().expect("non-empty").push((atom, min, max));
+                }
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, String> {
+        match self.chars.next().expect("caller peeked") {
+            '(' => Ok(Node::Group(self.parse_alternatives(true)?)),
+            '[' => Ok(Node::Class(self.parse_class()?)),
+            '\\' => Ok(Node::Char(self.parse_escape()?)),
+            '.' => Ok(Node::Class(universe())),
+            c => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, String> {
+        match self.chars.next() {
+            Some('n') => Ok('\n'),
+            Some('t') => Ok('\t'),
+            Some('r') => Ok('\r'),
+            Some(
+                c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*' | '+' | '-'
+                | '^' | '$' | '/'),
+            ) => Ok(c),
+            Some(c) => Err(format!("unsupported escape \\{c}")),
+            None => Err("dangling backslash".into()),
+        }
+    }
+
+    /// Parses the inside of `[...]` (opening bracket already consumed).
+    fn parse_class(&mut self) -> Result<Vec<char>, String> {
+        let negated = self.chars.peek() == Some(&'^') && {
+            self.chars.next();
+            true
+        };
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            let c = self.chars.next().ok_or("unterminated class")?;
+            match c {
+                ']' => break,
+                '&' if self.chars.peek() == Some(&'&') => {
+                    self.chars.next();
+                    if self.chars.next() != Some('[') {
+                        return Err("`&&` must be followed by a class".into());
+                    }
+                    let rhs_negated = self.chars.peek() == Some(&'^') && {
+                        self.chars.next();
+                        true
+                    };
+                    let mut rhs: Vec<char> = Vec::new();
+                    loop {
+                        let c = self.chars.next().ok_or("unterminated inner class")?;
+                        match c {
+                            ']' => break,
+                            '\\' => rhs.push(self.parse_escape()?),
+                            c => self.push_maybe_range(&mut rhs, c)?,
+                        }
+                    }
+                    if self.chars.next() != Some(']') {
+                        return Err("intersection must close the outer class".into());
+                    }
+                    set.retain(|c| rhs.contains(c) != rhs_negated);
+                    break;
+                }
+                '\\' => {
+                    let e = self.parse_escape()?;
+                    self.push_maybe_range(&mut set, e)?;
+                }
+                c => self.push_maybe_range(&mut set, c)?,
+            }
+        }
+        if negated {
+            set = universe()
+                .into_iter()
+                .filter(|c| !set.contains(c))
+                .collect();
+        }
+        if set.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(set)
+    }
+
+    /// Pushes `c`, or the range `c-X` if a dash follows.
+    fn push_maybe_range(&mut self, set: &mut Vec<char>, c: char) -> Result<(), String> {
+        if self.chars.peek() == Some(&'-') {
+            let mut lookahead = self.chars.clone();
+            lookahead.next(); // the dash
+            match lookahead.peek() {
+                Some(&']') | None => {
+                    // Trailing dash is a literal.
+                    set.push(c);
+                }
+                Some(_) => {
+                    self.chars.next();
+                    let hi = match self.chars.next() {
+                        Some('\\') => self.parse_escape()?,
+                        Some(h) => h,
+                        None => return Err("unterminated range".into()),
+                    };
+                    if (c as u32) > (hi as u32) {
+                        return Err(format!("inverted range {c}-{hi}"));
+                    }
+                    for u in (c as u32)..=(hi as u32) {
+                        set.push(char::from_u32(u).ok_or("invalid range char")?);
+                    }
+                }
+            }
+        } else {
+            set.push(c);
+        }
+        Ok(())
+    }
+
+    fn parse_quantifier(&mut self) -> Result<(u32, u32), String> {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                self.chars.next();
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok((1, UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut min_text = String::new();
+                let mut max_text: Option<String> = None;
+                loop {
+                    match self.chars.next().ok_or("unterminated quantifier")? {
+                        '}' => break,
+                        ',' => max_text = Some(String::new()),
+                        d if d.is_ascii_digit() => match &mut max_text {
+                            Some(t) => t.push(d),
+                            None => min_text.push(d),
+                        },
+                        c => return Err(format!("bad quantifier char {c:?}")),
+                    }
+                }
+                let min: u32 = min_text.parse().map_err(|_| "bad quantifier min")?;
+                let max: u32 = match max_text {
+                    None => min,
+                    Some(t) if t.is_empty() => min.max(UNBOUNDED_CAP),
+                    Some(t) => t.parse().map_err(|_| "bad quantifier max")?,
+                };
+                if max < min {
+                    return Err(format!("quantifier {{{min},{max}}} inverted"));
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+impl RegexPattern {
+    /// Parses `pattern`, or explains why the subset does not cover it.
+    pub fn parse(pattern: &str) -> Result<Self, String> {
+        let mut parser = Parser::new(pattern);
+        let alternatives = parser.parse_alternatives(false)?;
+        Ok(Self { alternatives })
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        generate_alternatives(&self.alternatives, rng, &mut out);
+        out
+    }
+}
+
+fn generate_alternatives(alts: &[Vec<(Node, u32, u32)>], rng: &mut StdRng, out: &mut String) {
+    let seq = &alts[rng.gen_range(0..alts.len())];
+    for (node, min, max) in seq {
+        let reps = rng.gen_range(*min..=*max);
+        for _ in 0..reps {
+            match node {
+                Node::Char(c) => out.push(*c),
+                Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                Node::Group(alts) => generate_alternatives(alts, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let p = RegexPattern::parse(pattern).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| p.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier_respects_bounds() {
+        for s in gen_many("[a-c]{2,5}", 200) {
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_with_escapes() {
+        for s in gen_many("[ -~\\n,]{0,50}", 200) {
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_excludes_subtracted_chars() {
+        for s in gen_many("[ -~&&[^\\r]]{0,80}", 300) {
+            assert!(!s.contains('\r'), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_alternate_and_optional_groups_sometimes_vanish() {
+        let all = gen_many("(GET|POST) /[a-z]{0,10}(x)?", 300);
+        assert!(all.iter().any(|s| s.starts_with("GET ")));
+        assert!(all.iter().any(|s| s.starts_with("POST ")));
+        assert!(all.iter().any(|s| s.ends_with('x')));
+        assert!(all.iter().any(|s| !s.ends_with('x')));
+    }
+
+    #[test]
+    fn wire_format_pattern_parses() {
+        let p = "(GET|POST) /[a-z]{0,10} BQT/1\n(cookie: [a-z0-9=]{0,20}\n)?\n[ -~]{0,100}";
+        for s in gen_many(p, 100) {
+            assert!(s.starts_with("GET /") || s.starts_with("POST /"), "{s:?}");
+            assert!(s.contains("BQT/1\n"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        for s in gen_many("[0-9]{3}", 50) {
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(RegexPattern::parse("a{2,1}").is_err());
+        assert!(RegexPattern::parse("[z-a]").is_err());
+        assert!(RegexPattern::parse("(open").is_err());
+    }
+}
