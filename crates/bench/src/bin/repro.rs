@@ -9,7 +9,7 @@
 //!   table1 table2 table3
 //!   fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b
 //!   scaling strawman ablation-matcher ablation-wait ablation-sampling
-//!   staleness audit drift chaos tier-flattening markup-baseline
+//!   staleness audit drift chaos resume tier-flattening markup-baseline
 //!   upload-consistency robustness policy release
 //! ```
 //!
@@ -36,7 +36,7 @@ fn usage() -> ! {
         "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
          experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
          scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
-         staleness audit drift chaos tier-flattening markup-baseline upload-consistency robustness policy"
+         staleness audit drift chaos resume tier-flattening markup-baseline upload-consistency robustness policy"
     );
     std::process::exit(2);
 }
@@ -101,6 +101,7 @@ fn main() {
             | "audit"
             | "drift"
             | "chaos"
+            | "resume"
     );
 
     let study = if needs_study {
@@ -147,6 +148,7 @@ fn main() {
         "audit" => ext::audit(args.seed),
         "drift" => ext::drift(args.seed),
         "chaos" => ext::chaos(args.seed),
+        "resume" => ext::resume(args.seed),
         "tier-flattening" => ext::tier_flattening_report(study.expect("study")),
         "markup-baseline" => ext::markup_baseline(study.expect("study")),
         "upload-consistency" => ext::upload_consistency_report(study.expect("study")),

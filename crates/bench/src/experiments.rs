@@ -579,9 +579,7 @@ pub fn scaling(seed: u64) -> String {
         let config = BqtConfig::paper_default(SimDuration::from_secs(40));
         let orch = Orchestrator {
             n_workers: workers,
-            politeness: SimDuration::from_secs(5),
-            seed,
-            retry: None,
+            ..Orchestrator::paper_default(seed)
         };
         let report = orch.run(&mut transport, &config, &jobs, &mut pool);
         t.row(vec![
@@ -671,9 +669,7 @@ pub fn ablation_wait(seed: u64) -> String {
         let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, seed);
         let orch = Orchestrator {
             n_workers: 32,
-            politeness: SimDuration::from_secs(5),
-            seed,
-            retry: None,
+            ..Orchestrator::paper_default(seed)
         };
         let report = orch.run(&mut transport, &config, &jobs, &mut pool);
         let med = report.metrics.median_duration().map(|d| d.as_secs_f64());
@@ -702,12 +698,8 @@ pub fn ablation_sampling(seed: u64) -> String {
             sample_rate: 1.0,
             min_samples: 1,
             max_samples_per_bg: None,
-            workers: 64,
             calibration_samples: 10,
-            seed,
-            measure: bbsim_address::matching::Measure::TokenSort,
-            epoch: 0,
-            retry: None,
+            ..CurationOptions::paper_default(seed)
         },
     );
     let ref_rows = bbsim_dataset::aggregate_block_groups(&reference.records);
@@ -730,12 +722,8 @@ pub fn ablation_sampling(seed: u64) -> String {
                 sample_rate: rate,
                 min_samples: 3,
                 max_samples_per_bg: None,
-                workers: 64,
                 calibration_samples: 10,
-                seed: seed + 1,
-                measure: bbsim_address::matching::Measure::TokenSort,
-                epoch: 0,
-                retry: None,
+                ..CurationOptions::paper_default(seed + 1)
             },
         );
         let rows = bbsim_dataset::aggregate_block_groups(&ds.records);
@@ -819,9 +807,7 @@ pub fn strawman_vs_bqt(seed: u64) -> String {
     let mut pool = IpPool::residential(128, RotationPolicy::RoundRobin, seed);
     let orch = Orchestrator {
         n_workers: 32,
-        politeness: SimDuration::from_secs(5),
-        seed,
-        retry: None,
+        ..Orchestrator::paper_default(seed)
     };
     let report = orch.run(
         &mut t2,

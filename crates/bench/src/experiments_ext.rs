@@ -549,6 +549,111 @@ pub fn chaos(seed: u64) -> String {
     )
 }
 
+/// Tentpole robustness — crash-recoverable campaigns: kill a journaled
+/// campaign at several virtual times, resume from the journal alone, and
+/// show the resumed report is identical while the journal pays for most
+/// of the re-run.
+pub fn resume(seed: u64) -> String {
+    use bbsim_bat::{templates, BatServer};
+    use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, SimTime, Transport};
+    use bqt::{BqtConfig, Journal, Orchestrator, QueryJob, RetryPolicy};
+    use std::sync::Arc;
+
+    let endpoint = "centurylink/billings";
+    let city = city_by_name("Billings").expect("study city");
+    let world = Arc::new(CityWorld::build(city));
+    let setup = || -> (Transport, Vec<QueryJob>) {
+        // Hermetic transport + faults: per-request draws are functions of
+        // (seed, endpoint, source, time), so a resumed campaign replays
+        // the journal and re-derives the rest bit-for-bit.
+        let mut t = Transport::hermetic(seed ^ 0x2E5);
+        let server = BatServer::new(Isp::CenturyLink, world.clone());
+        let net = server.profile().network_latency;
+        t.register(endpoint, Endpoint::new(Box::new(server), net));
+        let horizon = SimTime::ZERO + SimDuration::from_secs(100_000_000);
+        t.set_fault_plan(
+            FaultPlan::new(seed ^ 0xC4A05)
+                .flaky_endpoint(endpoint, SimTime::ZERO, horizon, 0.3)
+                .hermetic(),
+        );
+        let jobs = world
+            .addresses()
+            .records()
+            .iter()
+            .take(120)
+            .map(|r| QueryJob {
+                endpoint: endpoint.to_string(),
+                dialect: templates::dialect_of(Isp::CenturyLink),
+                input_line: r.listing_line.clone(),
+                tag: r.id as u64,
+            })
+            .collect();
+        (t, jobs)
+    };
+    let orch = Orchestrator {
+        n_workers: 8,
+        retry: Some(RetryPolicy::paper_default(seed)),
+        ..Orchestrator::paper_default(seed)
+    };
+    let config = BqtConfig::paper_default(SimDuration::from_secs(45));
+    let pool = || IpPool::residential(64, RotationPolicy::RoundRobin, seed);
+
+    let (mut t0, jobs) = setup();
+    let mut journal = Journal::in_memory();
+    let truth = orch
+        .run_journaled(&mut t0, &config, &jobs, &mut pool(), &mut journal)
+        .expect("fresh journal");
+    let full_requests = t0.requests_sent();
+
+    let mut t = Table::new(vec![
+        "crash at",
+        "attempts journaled",
+        "replayed on resume",
+        "scraped live",
+        "requests saved",
+        "report identical",
+    ]);
+    t.row(vec![
+        "(no crash)".into(),
+        truth.resume.live_attempts.to_string(),
+        "-".into(),
+        truth.resume.live_attempts.to_string(),
+        "-".into(),
+        "(baseline)".into(),
+    ]);
+    for pct in [10u64, 30, 50, 70, 90] {
+        let crash_at = SimTime::from_millis(truth.makespan.as_millis() * pct / 100);
+        let (mut t1, jobs) = setup();
+        let mut journal = Journal::in_memory();
+        orch.run_journaled_with_crash(&mut t1, &config, &jobs, &mut pool(), &mut journal, crash_at)
+            .expect("fresh journal");
+        // Reboot: only the journal bytes survive the crash.
+        let mut journal =
+            Journal::from_bytes(journal.bytes().expect("memory journal")).expect("recoverable");
+        let survived = journal.attempts().len();
+        let (mut t2, jobs) = setup();
+        let resumed = orch
+            .run_journaled(&mut t2, &config, &jobs, &mut pool(), &mut journal)
+            .expect("same campaign");
+        let identical = resumed.records == truth.records
+            && resumed.metrics == truth.metrics
+            && resumed.makespan == truth.makespan
+            && resumed.dead_letters == truth.dead_letters;
+        t.row(vec![
+            format!("{pct}% of makespan"),
+            survived.to_string(),
+            resumed.resume.replayed_attempts.to_string(),
+            resumed.resume.live_attempts.to_string(),
+            format!("{}/{}", full_requests - t2.requests_sent(), full_requests),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!(
+        "resume: a journaled campaign killed at arbitrary virtual times and resumed from the\nwrite-ahead journal alone — the resumed report matches the uninterrupted run exactly,\nand journaled attempts are never scraped twice\n\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@ use crate::scrape::{detect_with, DetectedPage, ScrapedPlan};
 use bbsim_address::abbrev::extract_zip;
 use bbsim_address::matching::best_match;
 use bbsim_bat::Dialect;
-use bbsim_net::{Request, SimDuration, SimIp, SimTime, Status, Transport};
+use bbsim_net::{Request, SimDuration, SimIp, SimTime, Status, Transport, TransportError};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -41,6 +41,10 @@ pub enum QueryOutcome {
     Blocked,
     /// Persistent errors exhausted the retry budget.
     Failed,
+    /// The session hung indefinitely (a [`bbsim_net::FaultKind::Stall`]);
+    /// only the orchestrator's watchdog can reclaim the worker, so the
+    /// duration recorded with this outcome is a lower bound on wall time.
+    Stalled,
 }
 
 impl QueryOutcome {
@@ -138,6 +142,11 @@ pub fn query_address(
                         finish!(QueryOutcome::Failed, now, steps);
                     }
                     continue;
+                }
+                Err(TransportError::Stalled) => {
+                    // The connection hung with no timeout: no time can be
+                    // charged here — the watchdog decides when to give up.
+                    finish!(QueryOutcome::Stalled, now, steps);
                 }
                 Err(_) => finish!(QueryOutcome::Failed, now, steps),
             };

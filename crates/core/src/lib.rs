@@ -32,16 +32,20 @@
 pub mod client;
 pub mod drift;
 pub mod driver;
+pub mod journal;
 pub mod metrics;
 pub mod orchestrator;
 pub mod retry;
 pub mod scrape;
+pub mod shed;
 pub mod strawman;
 
 pub use client::{BqtConfig, WaitPolicy};
 pub use drift::DriftMonitor;
 pub use driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
+pub use journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
 pub use metrics::{HitRateReport, Metrics};
-pub use orchestrator::{DeadLetter, Orchestrator, OrchestratorReport};
+pub use orchestrator::{DeadLetter, Orchestrator, OrchestratorReport, ResumeStats};
 pub use retry::{is_retryable, BackoffPolicy, BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use scrape::{DetectedPage, ScrapedPlan, TemplateSet};
+pub use shed::{ShedController, ShedDecision, ShedPolicy};

@@ -20,6 +20,12 @@ pub struct Metrics {
     pub breaker_trips: u64,
     /// Jobs that exhausted their attempt budget and were dead-lettered.
     pub dead_lettered: u64,
+    /// Attempts that ended with a hung session (recorded once reclaimed).
+    pub stalled: u64,
+    /// Workers the watchdog reclaimed from hung sessions.
+    pub stalls_reclaimed: u64,
+    /// Times the load-shedding controller cut the concurrency ceiling.
+    pub shed_events: u64,
     /// Query resolution times of *hit* queries, in seconds.
     durations_s: Vec<f64>,
 }
@@ -38,6 +44,7 @@ impl Metrics {
             QueryOutcome::Unserviceable => self.unserviceable += 1,
             QueryOutcome::Blocked => self.blocked += 1,
             QueryOutcome::Failed => self.failed += 1,
+            QueryOutcome::Stalled => self.stalled += 1,
         }
         if rec.outcome.is_hit() {
             self.durations_s.push(rec.duration.as_secs_f64());
@@ -55,6 +62,9 @@ impl Metrics {
         self.retries += other.retries;
         self.breaker_trips += other.breaker_trips;
         self.dead_lettered += other.dead_lettered;
+        self.stalled += other.stalled;
+        self.stalls_reclaimed += other.stalls_reclaimed;
+        self.shed_events += other.shed_events;
         self.durations_s.extend_from_slice(&other.durations_s);
     }
 
@@ -242,6 +252,32 @@ mod tests {
         let mut other = Metrics::new();
         other.merge(&a);
         assert_eq!(other, a);
+    }
+
+    #[test]
+    fn stalled_counts_but_is_not_a_hit() {
+        let mut m = Metrics::new();
+        m.record(&rec(QueryOutcome::Stalled, 0));
+        m.record(&rec(QueryOutcome::Plans(vec![plan()]), 10));
+        assert_eq!(m.stalled, 1);
+        assert_eq!(m.queried, 2);
+        assert_eq!(m.hit_rate(), 0.5);
+        assert_eq!(m.durations_s().len(), 1, "stall time is not a sample");
+    }
+
+    #[test]
+    fn merge_carries_the_supervision_counters() {
+        let mut a = Metrics::new();
+        a.stalls_reclaimed = 2;
+        a.shed_events = 1;
+        let mut b = Metrics::new();
+        b.record(&rec(QueryOutcome::Stalled, 0));
+        b.stalls_reclaimed = 3;
+        b.shed_events = 4;
+        a.merge(&b);
+        assert_eq!(a.stalled, 1);
+        assert_eq!(a.stalls_reclaimed, 5);
+        assert_eq!(a.shed_events, 5);
     }
 
     #[test]

@@ -9,15 +9,43 @@
 //! Because all timing is virtual, the orchestrator also supports the
 //! paper's scaling experiment directly: run the same job list with 1, 50,
 //! 100 and 200 workers and compare the observed per-request response times.
+//!
+//! ## Supervision layer
+//!
+//! On top of the original event loop sit three robustness mechanisms:
+//!
+//! * **Write-ahead journaling + resume** ([`Orchestrator::run_journaled`])
+//!   — every finished attempt is appended to a [`Journal`] before being
+//!   folded into the report. A campaign killed mid-run resumes by
+//!   replaying journaled attempts instead of re-scraping them; with a
+//!   hermetic transport ([`Transport::hermetic`]) the resumed report is
+//!   byte-identical to an uninterrupted run's. Journaled runs derive all
+//!   per-attempt randomness (source IP, MDU picks) from
+//!   `(seed, tag, attempt)` so replayed work cannot desynchronize the
+//!   draws that live work observes.
+//! * **Worker watchdog** — a hung session ([`QueryOutcome::Stalled`])
+//!   holds no timeout of its own; the orchestrator charges the stalled
+//!   attempt `max(partial, watchdog)` of virtual time, reclaims the
+//!   worker, and requeues the job through the normal retry machinery.
+//! * **Adaptive load shedding** ([`ShedPolicy`]) — an AIMD controller
+//!   watches the recent retryable-failure rate and shrinks the worker
+//!   pool multiplicatively when a BAT pushes back, recovering additively
+//!   once the storm passes; parked workers wake as the ceiling rises.
 
 use crate::client::BqtConfig;
 use crate::driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
+use crate::journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
 use crate::metrics::Metrics;
 use crate::retry::{is_retryable, CircuitBreaker, RetryPolicy};
-use bbsim_net::{EventQueue, IpPool, SimDuration, SimTime, Transport};
+use crate::shed::{ShedController, ShedDecision, ShedPolicy};
+use bbsim_net::{mix64, EventQueue, IpPool, SimDuration, SimTime, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+
+/// Domain separators for the orchestrator's derived-randomness streams.
+const RNG_SALT: u64 = 0x0C_0E57;
+const POOL_SALT: u64 = 0x1B_ADD4;
 
 /// Orchestration parameters.
 #[derive(Debug, Clone)]
@@ -31,6 +59,11 @@ pub struct Orchestrator {
     /// Job-level retry policy. `None` preserves the one-shot behaviour:
     /// a failed query is final and no requeueing happens.
     pub retry: Option<RetryPolicy>,
+    /// Per-job deadline: a worker whose session stalls is reclaimed after
+    /// this much virtual time and the stalled attempt charged accordingly.
+    pub watchdog: SimDuration,
+    /// Adaptive load shedding. `None` keeps the worker pool fixed.
+    pub shed: Option<ShedPolicy>,
 }
 
 /// What the discrete-event loop schedules.
@@ -52,6 +85,8 @@ impl Orchestrator {
             politeness: SimDuration::from_secs(5),
             seed,
             retry: None,
+            watchdog: SimDuration::from_secs(300),
+            shed: None,
         }
     }
 
@@ -64,6 +99,26 @@ impl Orchestrator {
         }
     }
 
+    /// The campaign identity a journaled run of `jobs` under `config`
+    /// would bind into its journal.
+    pub fn manifest(&self, config: &BqtConfig, jobs: &[QueryJob]) -> CampaignManifest {
+        CampaignManifest {
+            seed: self.seed,
+            config_hash: config_fingerprint(
+                config,
+                &[
+                    self.n_workers as u64,
+                    self.politeness.as_millis(),
+                    self.watchdog.as_millis(),
+                    self.retry.map_or(0, |r| r.max_attempts as u64),
+                    self.shed.is_some() as u64,
+                ],
+            ),
+            job_digest: CampaignManifest::digest_jobs(jobs),
+            n_jobs: jobs.len() as u32,
+        }
+    }
+
     /// Runs all `jobs` to completion and reports the results.
     ///
     /// `pool` supplies source IPs; each attempt checks out the next
@@ -71,9 +126,10 @@ impl Orchestrator {
     /// the pool is reasonably sized.
     ///
     /// With a retry policy set, jobs whose outcome is retryable
-    /// ([`QueryOutcome::Failed`] / [`QueryOutcome::Blocked`]) are requeued
-    /// with capped exponential backoff until the attempt budget runs out,
-    /// at which point the final record stands and the job is listed in
+    /// ([`QueryOutcome::Failed`] / [`QueryOutcome::Blocked`] /
+    /// [`QueryOutcome::Stalled`]) are requeued with capped exponential
+    /// backoff until the attempt budget runs out, at which point the
+    /// final record stands and the job is listed in
     /// [`OrchestratorReport::dead_letters`]. A per-endpoint circuit
     /// breaker defers traffic away from endpoints that are failing
     /// consistently. Every address produces exactly one record either way.
@@ -84,8 +140,76 @@ impl Orchestrator {
         jobs: &[QueryJob],
         pool: &mut IpPool,
     ) -> OrchestratorReport {
+        self.run_inner(transport, config, jobs, pool, None, None)
+            .expect("journal-less runs cannot hit journal errors")
+            .expect("crash-less runs always complete")
+    }
+
+    /// Runs a journaled (crash-recoverable) campaign.
+    ///
+    /// The campaign [`manifest`](Self::manifest) is bound into `journal`
+    /// first: written if the journal is fresh, validated if it holds prior
+    /// entries (a mismatch means the journal belongs to a different
+    /// campaign and is a [`JournalError::ManifestMismatch`]). Attempts
+    /// already journaled are replayed — their records, metrics
+    /// contributions, retry scheduling and dead-lettering are
+    /// reconstructed without touching `transport` — and only the
+    /// remainder is scraped live.
+    ///
+    /// For the resumed report to be byte-identical to an uninterrupted
+    /// run's, `transport` must be hermetic ([`Transport::hermetic`]), any
+    /// fault plan hermetic too, and `pool`/`config`/`jobs` identical to
+    /// the original run. [`OrchestratorReport::resume`] says how much work
+    /// the journal saved; it is deliberately *not* part of [`Metrics`] so
+    /// resumed and uninterrupted reports still compare equal.
+    pub fn run_journaled(
+        &self,
+        transport: &mut Transport,
+        config: &BqtConfig,
+        jobs: &[QueryJob],
+        pool: &mut IpPool,
+        journal: &mut Journal,
+    ) -> Result<OrchestratorReport, JournalError> {
+        journal.bind_manifest(self.manifest(config, jobs))?;
+        Ok(self
+            .run_inner(transport, config, jobs, pool, Some(journal), None)?
+            .expect("crash-less runs always complete"))
+    }
+
+    /// [`run_journaled`](Self::run_journaled), except the process "dies"
+    /// the moment virtual time passes `crash_at`: the loop stops, nothing
+    /// is reported (`Ok(None)`), and the journal retains exactly the
+    /// attempts that finished by then. Used by the resume tests and the
+    /// `repro resume` experiment to place crashes at arbitrary virtual
+    /// times; a crash after the campaign finished returns the full report.
+    pub fn run_journaled_with_crash(
+        &self,
+        transport: &mut Transport,
+        config: &BqtConfig,
+        jobs: &[QueryJob],
+        pool: &mut IpPool,
+        journal: &mut Journal,
+        crash_at: SimTime,
+    ) -> Result<Option<OrchestratorReport>, JournalError> {
+        journal.bind_manifest(self.manifest(config, jobs))?;
+        self.run_inner(transport, config, jobs, pool, Some(journal), Some(crash_at))
+    }
+
+    fn run_inner(
+        &self,
+        transport: &mut Transport,
+        config: &BqtConfig,
+        jobs: &[QueryJob],
+        pool: &mut IpPool,
+        mut journal: Option<&mut Journal>,
+        crash_at: Option<SimTime>,
+    ) -> Result<Option<OrchestratorReport>, JournalError> {
         assert!(self.n_workers >= 1, "need at least one worker");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0C_0E57);
+        let journaled = journal.is_some();
+        // Journal-less runs share one sequential RNG (the original
+        // behaviour); journaled runs derive per-attempt RNGs below so
+        // replayed attempts cannot desynchronize live ones.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ RNG_SALT);
         let mut queue: EventQueue<Event> = EventQueue::new();
         // Stagger worker start times slightly so arrival bursts don't all
         // land on the same virtual millisecond.
@@ -97,33 +221,67 @@ impl Orchestrator {
         let mut ready: VecDeque<usize> = (0..jobs.len()).collect();
         // Workers with nothing to do, parked until a job becomes ready.
         let mut idle_workers: Vec<usize> = Vec::new();
+        // Workers benched by the shed controller until the ceiling rises.
+        let mut shed_parked: Vec<usize> = Vec::new();
         // Attempts consumed per job slot.
         let mut attempts: Vec<u32> = vec![0; jobs.len()];
+        // Per-attempt outcome history per job slot (for dead letters).
+        let mut histories: Vec<Vec<QueryOutcome>> = vec![Vec::new(); jobs.len()];
         let mut breaker = self.retry.as_ref().map(|p| CircuitBreaker::new(p.breaker));
+        let mut shed_ctrl = self
+            .shed
+            .map(|policy| ShedController::new(policy, self.n_workers as u32));
+        let mut worker_busy = vec![false; self.n_workers];
+        let mut n_busy = 0usize;
 
         let mut records: Vec<QueryRecord> = Vec::with_capacity(jobs.len());
         let mut dead_letters: Vec<DeadLetter> = Vec::new();
         let mut metrics = Metrics::new();
+        let mut resume = ResumeStats::default();
         let mut makespan = SimTime::ZERO;
 
         while let Some((now, event)) = queue.pop() {
+            if let Some(crash) = crash_at {
+                if now > crash {
+                    // The process died here: whatever the journal holds is
+                    // all that survives.
+                    return Ok(None);
+                }
+            }
             // Pair a free worker with a ready job, or park whichever side
             // arrived without a counterpart.
             let (worker, j) = match event {
-                Event::WorkerFree(w) => match ready.pop_front() {
-                    Some(j) => (w, j),
-                    None => {
-                        idle_workers.push(w);
-                        continue;
+                Event::WorkerFree(w) => {
+                    if worker_busy[w] {
+                        worker_busy[w] = false;
+                        n_busy -= 1;
                     }
-                },
-                Event::JobReady(j) => match idle_workers.pop() {
-                    Some(w) => (w, j),
-                    None => {
-                        ready.push_back(j);
-                        continue;
+                    if let Some(ctrl) = &shed_ctrl {
+                        if n_busy as u32 >= ctrl.limit() {
+                            shed_parked.push(w);
+                            continue;
+                        }
                     }
-                },
+                    match ready.pop_front() {
+                        Some(j) => (w, j),
+                        None => {
+                            idle_workers.push(w);
+                            continue;
+                        }
+                    }
+                }
+                Event::JobReady(j) => {
+                    let over_limit = shed_ctrl
+                        .as_ref()
+                        .is_some_and(|c| n_busy as u32 >= c.limit());
+                    match (over_limit, idle_workers.pop()) {
+                        (false, Some(w)) => (w, j),
+                        (true, _) | (false, None) => {
+                            ready.push_back(j);
+                            continue;
+                        }
+                    }
+                }
             };
             let job = &jobs[j];
 
@@ -131,24 +289,93 @@ impl Orchestrator {
             // until the breaker half-opens; the worker stays in rotation.
             if let Some(b) = breaker.as_mut() {
                 if !b.allows(&job.endpoint, now) {
-                    let resume = b
+                    let resume_at = b
                         .reopen_time(&job.endpoint)
                         .expect("closed circuits always allow")
                         .max(now + SimDuration::from_millis(1));
-                    queue.push(resume, Event::JobReady(j));
+                    queue.push(resume_at, Event::JobReady(j));
                     queue.push(now, Event::WorkerFree(worker));
                     continue;
                 }
             }
 
             attempts[j] += 1;
-            let src = pool.next();
-            let rec = query_address(transport, config, job, src, now, &mut rng);
+            let attempt = attempts[j];
+            worker_busy[worker] = true;
+            n_busy += 1;
+
+            // Write-ahead replay: if this exact (tag, attempt) finished
+            // before a crash, take its journaled result verbatim instead
+            // of re-scraping.
+            let replayed = journal
+                .as_deref()
+                .and_then(|jr| jr.replay(job.tag, attempt))
+                .map(|entry| entry.to_record());
+            let from_journal = replayed.is_some();
+            let rec = match replayed {
+                Some(rec) => {
+                    resume.replayed_attempts += 1;
+                    rec
+                }
+                None => {
+                    let mut rec = if journaled {
+                        // Hermetic per-attempt randomness: the source IP
+                        // and the driver's own draws are functions of
+                        // (seed, tag, attempt), independent of the other
+                        // jobs' fates.
+                        let src =
+                            pool.assign(mix64(self.seed ^ POOL_SALT, &[job.tag, attempt as u64]));
+                        let mut arng = StdRng::seed_from_u64(mix64(
+                            self.seed ^ RNG_SALT,
+                            &[job.tag, attempt as u64],
+                        ));
+                        query_address(transport, config, job, src, now, &mut arng)
+                    } else {
+                        let src = pool.next();
+                        query_address(transport, config, job, src, now, &mut rng)
+                    };
+                    if rec.outcome == QueryOutcome::Stalled {
+                        // The watchdog reclaims the hung worker: charge
+                        // the deadline (or the partial time if the stall
+                        // hit after the deadline would have fired).
+                        rec.duration = rec.duration.max(self.watchdog);
+                    }
+                    resume.live_attempts += 1;
+                    rec
+                }
+            };
+            if rec.outcome == QueryOutcome::Stalled {
+                metrics.stalls_reclaimed += 1;
+            }
             let done = now + rec.duration;
             makespan = makespan.max(done);
 
+            // Write-ahead: journal the attempt before folding it into the
+            // report, but only if it finished before the simulated crash —
+            // a real crash loses the in-flight attempt.
+            if !from_journal && crash_at.is_none_or(|c| done <= c) {
+                if let Some(jr) = journal.as_deref_mut() {
+                    jr.append(AttemptEntry::from_record(&rec, attempt))?;
+                }
+            }
+
+            // Feed the load-shedding controller (replayed attempts too:
+            // the resumed controller must retrace the original's path).
+            if let Some(ctrl) = shed_ctrl.as_mut() {
+                match ctrl.observe(done, is_retryable(&rec.outcome)) {
+                    ShedDecision::Cut(_) => metrics.shed_events += 1,
+                    ShedDecision::Raise(_) => {
+                        if let Some(w) = shed_parked.pop() {
+                            queue.push(done, Event::WorkerFree(w));
+                        }
+                    }
+                    ShedDecision::Hold => {}
+                }
+            }
+
             let mut requeued = false;
             if let Some(policy) = &self.retry {
+                histories[j].push(rec.outcome.clone());
                 let failed = is_retryable(&rec.outcome);
                 if let Some(b) = breaker.as_mut() {
                     if failed {
@@ -171,6 +398,7 @@ impl Orchestrator {
                             tag: job.tag,
                             attempts: attempts[j],
                             last_outcome: rec.outcome.clone(),
+                            history: std::mem::take(&mut histories[j]),
                         });
                     }
                 }
@@ -183,12 +411,14 @@ impl Orchestrator {
             queue.push(done + self.politeness, Event::WorkerFree(worker));
         }
 
-        OrchestratorReport {
+        Ok(Some(OrchestratorReport {
             records,
             metrics,
             makespan,
             dead_letters,
-        }
+            concurrency_timeline: shed_ctrl.map(|c| c.timeline().to_vec()).unwrap_or_default(),
+            resume,
+        }))
     }
 }
 
@@ -201,6 +431,22 @@ pub struct DeadLetter {
     pub attempts: u32,
     /// The outcome of the final attempt.
     pub last_outcome: QueryOutcome,
+    /// Outcome of every attempt in order — the post-mortem trail
+    /// (`history.last() == Some(&last_outcome)`).
+    pub history: Vec<QueryOutcome>,
+}
+
+/// How much work a resumed run inherited from its journal.
+///
+/// Kept outside [`Metrics`] on purpose: resumed and uninterrupted runs of
+/// the same campaign must produce *equal* metrics, and these counters are
+/// exactly what differs between them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumeStats {
+    /// Attempts answered from the journal (no scraping).
+    pub replayed_attempts: u64,
+    /// Attempts actually executed against the transport.
+    pub live_attempts: u64,
 }
 
 /// Everything an orchestrated run produced.
@@ -215,6 +461,12 @@ pub struct OrchestratorReport {
     pub makespan: SimTime,
     /// Jobs whose retry budget ran dry (empty when retries are off).
     pub dead_letters: Vec<DeadLetter>,
+    /// `(virtual time, ceiling)` every time the load-shedding controller
+    /// moved the concurrency ceiling (empty when shedding is off). The
+    /// first entry is the starting ceiling.
+    pub concurrency_timeline: Vec<(SimTime, u32)>,
+    /// Journal bookkeeping for resumed runs (zeros when not journaled).
+    pub resume: ResumeStats,
 }
 
 impl OrchestratorReport {
@@ -236,12 +488,15 @@ mod tests {
     use bbsim_bat::{templates, BatServer};
     use bbsim_census::city_by_name;
     use bbsim_isp::{CityWorld, Isp};
-    use bbsim_net::{Endpoint, RotationPolicy};
+    use bbsim_net::{Endpoint, FaultPlan, RotationPolicy};
     use std::sync::Arc;
 
     fn setup() -> (Transport, Vec<QueryJob>) {
+        setup_with(Transport::new(11))
+    }
+
+    fn setup_with(mut t: Transport) -> (Transport, Vec<QueryJob>) {
         let world = Arc::new(CityWorld::build(city_by_name("Billings").unwrap()));
-        let mut t = Transport::new(11);
         let server = BatServer::new(Isp::CenturyLink, world.clone());
         let net = server.profile().network_latency;
         t.register("centurylink/billings", Endpoint::new(Box::new(server), net));
@@ -271,7 +526,7 @@ mod tests {
             n_workers: 16,
             politeness: SimDuration::from_secs(5),
             seed: 1,
-            retry: None,
+            ..Orchestrator::paper_default(1)
         };
         let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
         let report = orch.run(&mut t, &config(), &jobs, &mut pool);
@@ -288,9 +543,7 @@ mod tests {
         let mut pool1 = IpPool::residential(256, RotationPolicy::RoundRobin, 2);
         let serial = Orchestrator {
             n_workers: 1,
-            politeness: SimDuration::from_secs(5),
-            seed: 2,
-            retry: None,
+            ..Orchestrator::paper_default(2)
         }
         .run(&mut t1, &config(), &jobs, &mut pool1);
 
@@ -298,9 +551,7 @@ mod tests {
         let mut pool2 = IpPool::residential(256, RotationPolicy::RoundRobin, 2);
         let parallel = Orchestrator {
             n_workers: 50,
-            politeness: SimDuration::from_secs(5),
-            seed: 2,
-            retry: None,
+            ..Orchestrator::paper_default(2)
         }
         .run(&mut t2, &config(), &jobs2, &mut pool2);
 
@@ -322,9 +573,7 @@ mod tests {
             let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, 3);
             let report = Orchestrator {
                 n_workers: n,
-                politeness: SimDuration::from_secs(5),
-                seed: 3,
-                retry: None,
+                ..Orchestrator::paper_default(3)
             }
             .run(&mut t, &config(), &jobs, &mut pool);
             means.push(report.mean_hit_duration_s().unwrap());
@@ -343,8 +592,7 @@ mod tests {
         let report = Orchestrator {
             n_workers: 100,
             politeness: SimDuration::from_secs(1),
-            seed: 4,
-            retry: None,
+            ..Orchestrator::paper_default(4)
         }
         .run(&mut t, &config(), &jobs, &mut pool);
         assert!(
@@ -374,11 +622,95 @@ mod tests {
         let orch = Orchestrator {
             n_workers: 64,
             politeness: SimDuration::from_secs(1),
-            seed: 6,
-            retry: None,
+            ..Orchestrator::paper_default(6)
         };
         let mut pool = IpPool::residential(8, RotationPolicy::RoundRobin, 6);
         let report = orch.run(&mut t, &config(), &few, &mut pool);
         assert_eq!(report.records.len(), 3);
+    }
+
+    #[test]
+    fn journaled_run_without_crash_matches_plain_journaled_rerun() {
+        // Same campaign journaled twice from scratch: identical reports.
+        let run = || {
+            let (mut t, jobs) = setup_with(Transport::hermetic(11));
+            let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+            let mut journal = Journal::in_memory();
+            let orch = Orchestrator {
+                n_workers: 16,
+                ..Orchestrator::with_retries(7)
+            };
+            orch.run_journaled(&mut t, &config(), &jobs, &mut pool, &mut journal)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.resume.replayed_attempts, 0);
+        assert!(a.resume.live_attempts >= 150);
+    }
+
+    #[test]
+    fn watchdog_reclaims_stalled_workers_and_retries_win() {
+        // Stall every request to the endpoint for the first 20 virtual
+        // minutes; with retries, jobs recover after the window lifts.
+        let mut t = Transport::hermetic(11);
+        t.set_fault_plan(FaultPlan::new(5).hermetic().stalls(
+            "centurylink/billings",
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(1200),
+            0.9,
+        ));
+        let (mut t, jobs) = setup_with(t);
+        let few: Vec<QueryJob> = jobs.into_iter().take(40).collect();
+        let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 2);
+        let orch = Orchestrator {
+            n_workers: 8,
+            watchdog: SimDuration::from_secs(120),
+            ..Orchestrator::with_retries(9)
+        };
+        let report = orch.run(&mut t, &config(), &few, &mut pool);
+        assert_eq!(report.records.len(), 40, "no job lost to a hang");
+        assert!(
+            report.metrics.stalls_reclaimed > 0,
+            "stalls were injected: {:?}",
+            report.metrics
+        );
+        // Every stalled attempt was charged at least the watchdog.
+        for r in &report.records {
+            if r.outcome == QueryOutcome::Stalled {
+                assert!(r.duration >= SimDuration::from_secs(120));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_letters_carry_their_attempt_history() {
+        // A permanently stalling endpoint dead-letters everything, and
+        // each dead letter shows all four attempts stalling.
+        let mut t = Transport::hermetic(3);
+        t.set_fault_plan(FaultPlan::new(5).hermetic().stalls(
+            "centurylink/billings",
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(1_000_000),
+            1.0,
+        ));
+        let (mut t, jobs) = setup_with(t);
+        let few: Vec<QueryJob> = jobs.into_iter().take(10).collect();
+        let mut pool = IpPool::residential(16, RotationPolicy::RoundRobin, 3);
+        let orch = Orchestrator {
+            n_workers: 4,
+            watchdog: SimDuration::from_secs(60),
+            ..Orchestrator::with_retries(10)
+        };
+        let report = orch.run(&mut t, &config(), &few, &mut pool);
+        assert_eq!(report.dead_letters.len(), 10);
+        for dl in &report.dead_letters {
+            assert_eq!(dl.attempts as usize, dl.history.len());
+            assert_eq!(dl.history.last(), Some(&dl.last_outcome));
+            assert!(dl.history.iter().all(|o| *o == QueryOutcome::Stalled));
+        }
     }
 }

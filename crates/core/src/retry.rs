@@ -70,12 +70,16 @@ impl BackoffPolicy {
 /// Whether a terminal outcome is worth another attempt.
 ///
 /// `Failed` (transport faults, 500s, unrecognized pages) and `Blocked`
-/// (rate limiting that may lift) are transient. `Plans` and `NoService`
-/// are hits, and `Unserviceable` is an authoritative property of the
-/// address — retrying any of those would re-ask a question that was
-/// already answered.
+/// (rate limiting that may lift) are transient, as is `Stalled` (a hung
+/// session the watchdog reclaimed — the next attempt gets a fresh
+/// connection). `Plans` and `NoService` are hits, and `Unserviceable` is
+/// an authoritative property of the address — retrying any of those would
+/// re-ask a question that was already answered.
 pub fn is_retryable(outcome: &QueryOutcome) -> bool {
-    matches!(outcome, QueryOutcome::Failed | QueryOutcome::Blocked)
+    matches!(
+        outcome,
+        QueryOutcome::Failed | QueryOutcome::Blocked | QueryOutcome::Stalled
+    )
 }
 
 /// Breaker tuning.
@@ -237,6 +241,7 @@ mod tests {
     fn classification_retries_failures_not_answers() {
         assert!(is_retryable(&QueryOutcome::Failed));
         assert!(is_retryable(&QueryOutcome::Blocked));
+        assert!(is_retryable(&QueryOutcome::Stalled));
         assert!(!is_retryable(&QueryOutcome::NoService));
         assert!(!is_retryable(&QueryOutcome::Unserviceable));
         assert!(!is_retryable(&QueryOutcome::Plans(vec![])));

@@ -1,0 +1,268 @@
+//! Adaptive load shedding: an AIMD controller over worker concurrency.
+//!
+//! When a BAT starts rate-limiting (a brownout, or the campaign simply
+//! running too hot for the endpoint), retrying at full concurrency digs
+//! the hole deeper: every worker burns attempt budget into the same 429
+//! wall and jobs die to the dead-letter queue. The controller watches the
+//! recent rate of retryable failures and reacts the way TCP does to loss:
+//! **multiplicative decrease** of the concurrency ceiling when the failure
+//! rate crosses the trip threshold, **additive increase** (one worker at a
+//! time) after sustained success, never dropping below a floor that keeps
+//! the campaign live.
+//!
+//! The controller is pure bookkeeping on the virtual clock — the
+//! orchestrator feeds it one observation per finished attempt and parks or
+//! wakes workers to honour the ceiling it reports.
+
+use bbsim_net::SimTime;
+use std::collections::VecDeque;
+
+/// Tuning for the AIMD concurrency controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPolicy {
+    /// Sliding window of recent attempt outcomes the failure rate is
+    /// computed over.
+    pub window: usize,
+    /// Retryable-failure rate in the window that triggers a cut.
+    pub trip_rate: f64,
+    /// Concurrency never drops below this (≥ 1 keeps the campaign live).
+    pub floor: u32,
+    /// Consecutive clean attempts required per +1 worker of recovery.
+    pub recovery_streak: u32,
+    /// Minimum virtual time between successive cuts, so one storm is
+    /// answered with one cut, not a cascade.
+    pub cooldown: bbsim_net::SimDuration,
+}
+
+impl ShedPolicy {
+    /// Defaults tuned for the paper-scale runs: trip when more than half
+    /// of the last 20 attempts needed a retry, halve, recover one worker
+    /// per 5 clean attempts, at most one cut per virtual minute.
+    pub fn paper_default() -> Self {
+        Self {
+            window: 20,
+            trip_rate: 0.5,
+            floor: 2,
+            recovery_streak: 5,
+            cooldown: bbsim_net::SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// What [`ShedController::observe`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedDecision {
+    /// Ceiling unchanged.
+    Hold,
+    /// Multiplicative decrease fired; the new ceiling is carried.
+    Cut(u32),
+    /// Additive increase fired; the new ceiling is carried.
+    Raise(u32),
+}
+
+/// AIMD controller state.
+#[derive(Debug, Clone)]
+pub struct ShedController {
+    policy: ShedPolicy,
+    /// The configured maximum (what the pool was sized for).
+    ceiling_max: u32,
+    /// Current concurrency ceiling.
+    limit: u32,
+    /// Recent attempts: `true` = retryable failure (pressure).
+    window: VecDeque<bool>,
+    clean_streak: u32,
+    last_cut: Option<SimTime>,
+    cuts: u64,
+    /// `(when, new_limit)` every time the ceiling changed, plus the
+    /// starting point — the report's concurrency-over-time series.
+    timeline: Vec<(SimTime, u32)>,
+}
+
+impl ShedController {
+    pub fn new(policy: ShedPolicy, max_workers: u32) -> Self {
+        assert!(max_workers >= 1, "need at least one worker");
+        assert!(policy.floor >= 1, "floor must keep one worker live");
+        assert!(
+            (0.0..=1.0).contains(&policy.trip_rate),
+            "trip rate is a fraction"
+        );
+        let limit = max_workers;
+        Self {
+            policy,
+            ceiling_max: max_workers,
+            limit,
+            window: VecDeque::with_capacity(policy.window),
+            clean_streak: 0,
+            last_cut: None,
+            cuts: 0,
+            timeline: vec![(SimTime::ZERO, limit)],
+        }
+    }
+
+    /// Current concurrency ceiling.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Number of multiplicative cuts taken.
+    pub fn cuts(&self) -> u64 {
+        self.cuts
+    }
+
+    /// The ceiling's history: `(virtual time, new limit)` per change.
+    pub fn timeline(&self) -> &[(SimTime, u32)] {
+        &self.timeline
+    }
+
+    /// Feeds one finished attempt. `pressure` is true when the attempt
+    /// ended in a retryable failure (Blocked / Failed / Stalled).
+    pub fn observe(&mut self, now: SimTime, pressure: bool) -> ShedDecision {
+        if self.window.len() == self.policy.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(pressure);
+
+        if pressure {
+            self.clean_streak = 0;
+            let hot = self.window.iter().filter(|&&p| p).count();
+            let rate = hot as f64 / self.window.len() as f64;
+            // Observations arrive at attempt-completion times, which are
+            // not monotone across workers — compare, don't subtract.
+            let cooled = match self.last_cut {
+                None => true,
+                Some(at) => now >= at + self.policy.cooldown,
+            };
+            if self.window.len() >= self.policy.window.min(4)
+                && rate >= self.policy.trip_rate
+                && cooled
+                && self.limit > self.policy.floor
+            {
+                self.limit = (self.limit / 2).max(self.policy.floor);
+                self.last_cut = Some(now);
+                self.cuts += 1;
+                self.window.clear();
+                self.timeline.push((now, self.limit));
+                return ShedDecision::Cut(self.limit);
+            }
+        } else {
+            self.clean_streak += 1;
+            if self.clean_streak >= self.policy.recovery_streak && self.limit < self.ceiling_max {
+                self.clean_streak = 0;
+                self.limit += 1;
+                self.timeline.push((now, self.limit));
+                return ShedDecision::Raise(self.limit);
+            }
+        }
+        ShedDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_net::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn policy() -> ShedPolicy {
+        ShedPolicy {
+            window: 8,
+            trip_rate: 0.5,
+            floor: 2,
+            recovery_streak: 3,
+            cooldown: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn sustained_pressure_halves_down_to_the_floor() {
+        let mut c = ShedController::new(policy(), 16);
+        let mut now = 0;
+        while c.limit() > 2 {
+            let before = c.limit();
+            // One storm per cooldown period.
+            for _ in 0..8 {
+                now += 1;
+                c.observe(t(now * 100), true);
+            }
+            assert!(c.limit() <= before, "never grows under pressure");
+        }
+        assert_eq!(c.limit(), 2, "floor holds");
+        assert!(c.cuts() >= 3, "16 → 8 → 4 → 2");
+        // Floor is sticky: more pressure doesn't go below it.
+        for _ in 0..20 {
+            now += 1;
+            c.observe(t(now * 100), true);
+        }
+        assert_eq!(c.limit(), 2);
+    }
+
+    #[test]
+    fn cooldown_limits_cut_cascades() {
+        let mut c = ShedController::new(policy(), 16);
+        // A burst of pressure all inside one cooldown window.
+        for i in 0..40 {
+            c.observe(t(i), true);
+        }
+        assert_eq!(c.cuts(), 1, "one storm, one cut");
+        assert_eq!(c.limit(), 8);
+    }
+
+    #[test]
+    fn recovery_is_additive_and_capped() {
+        let mut c = ShedController::new(policy(), 16);
+        for i in 0..40 {
+            c.observe(t(i), true);
+        }
+        assert_eq!(c.limit(), 8);
+        // Clean traffic: +1 per 3 successes, up to the original ceiling.
+        let mut raised = 0;
+        for i in 0..100 {
+            if let ShedDecision::Raise(_) = c.observe(t(100 + i), false) {
+                raised += 1;
+            }
+        }
+        assert_eq!(c.limit(), 16, "recovers to the ceiling, not past it");
+        assert_eq!(raised, 8);
+    }
+
+    #[test]
+    fn mixed_traffic_below_trip_rate_holds_steady() {
+        let mut c = ShedController::new(policy(), 16);
+        // 25% pressure, below the 50% trip rate; streak resets keep
+        // recovery quiet too.
+        for i in 0..200u64 {
+            c.observe(t(i), i % 4 == 0);
+        }
+        assert_eq!(c.cuts(), 0);
+        assert_eq!(c.limit(), 16);
+    }
+
+    #[test]
+    fn timeline_records_every_change() {
+        let mut c = ShedController::new(policy(), 8);
+        for i in 0..20 {
+            c.observe(t(i), true);
+        }
+        for i in 0..10 {
+            c.observe(t(100 + i), false);
+        }
+        let tl = c.timeline();
+        assert_eq!(tl[0], (SimTime::ZERO, 8), "starting point recorded");
+        assert!(tl.len() >= 3, "cut + raises present: {tl:?}");
+        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "time-ordered");
+    }
+
+    #[test]
+    fn small_pools_and_floor_interact_safely() {
+        // max_workers below the floor: the controller simply never cuts.
+        let mut c = ShedController::new(policy(), 2);
+        for i in 0..50 {
+            c.observe(t(i * 100), true);
+        }
+        assert_eq!(c.limit(), 2);
+        assert_eq!(c.cuts(), 0);
+    }
+}

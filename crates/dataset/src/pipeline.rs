@@ -6,8 +6,12 @@ use bbsim_bat::{templates, BatServer};
 use bbsim_census::{city_seed, CityProfile};
 use bbsim_isp::{CityWorld, Isp};
 use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, Transport};
-use bqt::{BqtConfig, Metrics, Orchestrator, QueryJob, QueryOutcome, RetryPolicy};
+use bqt::{
+    BqtConfig, Journal, JournalError, Metrics, Orchestrator, QueryJob, QueryOutcome, ResumeStats,
+    RetryPolicy, ShedPolicy,
+};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Knobs for a curation run.
@@ -34,6 +38,10 @@ pub struct CurationOptions {
     /// paper's one-shot semantics; chaos runs set it to recover hit rate
     /// under injected faults.
     pub retry: Option<RetryPolicy>,
+    /// Watchdog deadline for hung sessions (see [`Orchestrator::watchdog`]).
+    pub watchdog: SimDuration,
+    /// Adaptive load shedding for the worker pool; `None` keeps it fixed.
+    pub shed: Option<ShedPolicy>,
 }
 
 impl CurationOptions {
@@ -49,6 +57,8 @@ impl CurationOptions {
             measure: Measure::TokenSort,
             epoch: 0,
             retry: None,
+            watchdog: SimDuration::from_secs(300),
+            shed: None,
         }
     }
 
@@ -65,6 +75,8 @@ impl CurationOptions {
             measure: Measure::TokenSort,
             epoch: 0,
             retry: None,
+            watchdog: SimDuration::from_secs(300),
+            shed: None,
         }
     }
 
@@ -115,12 +127,46 @@ pub fn curate_city_with_faults(
     opts: &CurationOptions,
     plan: Option<FaultPlan>,
 ) -> CityDataset {
+    let (dataset, _) = curate_city_inner(city, opts, plan, None)
+        .expect("journal-less curation cannot hit journal errors");
+    dataset
+}
+
+/// Crash-recoverable curation: like [`curate_city_with_faults`], but the
+/// transport is hermetic and every ISP's campaign is journaled to
+/// `<journal_dir>/<isp-slug>.journal`. Re-running after a crash replays
+/// the journaled attempts and scrapes only the remainder; the returned
+/// [`ResumeStats`] (summed over ISPs) say how much the journals saved.
+///
+/// The fault `plan`, if any, should itself be hermetic
+/// ([`FaultPlan::hermetic`]) or resumed runs will see different faults
+/// than the original.
+pub fn curate_city_journaled(
+    city: &'static CityProfile,
+    opts: &CurationOptions,
+    plan: Option<FaultPlan>,
+    journal_dir: &Path,
+) -> Result<(CityDataset, ResumeStats), JournalError> {
+    std::fs::create_dir_all(journal_dir).map_err(|e| JournalError::Io(e.to_string()))?;
+    curate_city_inner(city, opts, plan, Some(journal_dir))
+}
+
+fn curate_city_inner(
+    city: &'static CityProfile,
+    opts: &CurationOptions,
+    plan: Option<FaultPlan>,
+    journal_dir: Option<&Path>,
+) -> Result<(CityDataset, ResumeStats), JournalError> {
     assert!(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0);
     assert!(opts.workers >= 1);
 
     let world = Arc::new(CityWorld::build_at(city, opts.epoch));
     let run_seed = city_seed(city.name) ^ opts.seed.rotate_left(16) ^ ((opts.epoch as u64) << 1);
-    let mut transport = Transport::new(run_seed);
+    let mut transport = if journal_dir.is_some() {
+        Transport::hermetic(run_seed)
+    } else {
+        Transport::new(run_seed)
+    };
     if let Some(plan) = plan {
         transport.set_fault_plan(plan);
     }
@@ -136,6 +182,7 @@ pub fn curate_city_with_faults(
     let mut records = Vec::new();
     let mut per_isp_metrics = Vec::new();
     let mut per_isp_pause = Vec::new();
+    let mut resume = ResumeStats::default();
 
     for isp in world.isps() {
         // Calibrate the settle pause like the paper: max observed load time
@@ -182,8 +229,20 @@ pub fn curate_city_with_faults(
             politeness: SimDuration::from_secs(5),
             seed: run_seed ^ (isp.column() as u64),
             retry: opts.retry,
+            watchdog: opts.watchdog,
+            shed: opts.shed,
         };
-        let report = orch.run(&mut transport, &config, &jobs, &mut pool);
+        let report = match journal_dir {
+            Some(dir) => {
+                let mut journal = Journal::open(&dir.join(format!("{}.journal", isp.slug())))?;
+                let report =
+                    orch.run_journaled(&mut transport, &config, &jobs, &mut pool, &mut journal)?;
+                resume.replayed_attempts += report.resume.replayed_attempts;
+                resume.live_attempts += report.resume.live_attempts;
+                report
+            }
+            None => orch.run(&mut transport, &config, &jobs, &mut pool),
+        };
 
         // Land hits as dataset rows.
         for qrec in &report.records {
@@ -206,12 +265,15 @@ pub fn curate_city_with_faults(
         per_isp_metrics.push((isp, report.metrics));
     }
 
-    CityDataset {
-        city,
-        records,
-        per_isp_metrics,
-        per_isp_pause,
-    }
+    Ok((
+        CityDataset {
+            city,
+            records,
+            per_isp_metrics,
+            per_isp_pause,
+        },
+        resume,
+    ))
 }
 
 #[cfg(test)]
@@ -294,6 +356,38 @@ mod tests {
             a.records.len() != c.records.len() || a.records != c.records,
             "different seeds should differ somewhere"
         );
+    }
+
+    #[test]
+    fn journaled_curation_resumes_without_rescraping() {
+        let dir = std::env::temp_dir().join(format!("bqj-pipeline-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = CurationOptions::quick(9);
+        opts.max_samples_per_bg = Some(2);
+        opts.min_samples = 2;
+        let city = city_by_name("Billings").unwrap();
+
+        let (first, r1) = curate_city_journaled(city, &opts, None, &dir).unwrap();
+        assert_eq!(r1.replayed_attempts, 0);
+        assert!(r1.live_attempts > 0);
+
+        // Second run over the same journals: everything replays.
+        let (second, r2) = curate_city_journaled(city, &opts, None, &dir).unwrap();
+        assert_eq!(r2.live_attempts, 0, "complete journals need no scraping");
+        assert_eq!(r2.replayed_attempts, r1.live_attempts);
+        assert_eq!(first.records, second.records);
+        assert_eq!(first.per_isp_metrics, second.per_isp_metrics);
+
+        // A different campaign must refuse the same journals.
+        let mut other = opts;
+        other.seed = 10;
+        match curate_city_journaled(city, &other, None, &dir) {
+            Err(JournalError::ManifestMismatch { .. }) => {}
+            Err(other) => panic!("expected manifest mismatch, got {other}"),
+            Ok(_) => panic!("foreign journals must be refused"),
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! before each request.
 
 use crate::clock::{SimDuration, SimTime};
+use crate::mix::{fnv1a, mix64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,6 +26,10 @@ use rand::{Rng, SeedableRng};
 pub enum FaultKind {
     /// The request is swallowed; the client gives up after its timeout.
     Timeout,
+    /// The session hangs forever: no bytes ever come back and no client
+    /// timeout fires. Only an orchestrator-level watchdog can reclaim the
+    /// worker stuck on it.
+    Stall,
     /// The connection is torn down partway through the exchange.
     ConnectionReset,
     /// The endpoint's anti-bot layer answers 429 without consulting the
@@ -70,6 +75,8 @@ impl FaultWindow {
 pub(crate) enum FaultAction {
     /// Swallow the request; the client burns `after` of virtual time.
     Timeout { after: SimDuration },
+    /// Hang the session indefinitely; the worker is stuck until reclaimed.
+    Stall,
     /// Tear the connection down `after` into the exchange.
     Reset { after: SimDuration },
     /// Synthesize a 429 without touching the service.
@@ -84,7 +91,11 @@ pub(crate) enum FaultAction {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     windows: Vec<FaultWindow>,
+    seed: u64,
     rng: StdRng,
+    /// Derive each request's fault rolls from `(seed, endpoint, now)`
+    /// instead of the shared sequential stream. See [`Self::hermetic`].
+    hermetic: bool,
     /// Virtual time a client waits before declaring a swallowed request
     /// timed out.
     client_timeout: SimDuration,
@@ -95,9 +106,22 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         Self {
             windows: Vec::new(),
+            seed,
             rng: StdRng::seed_from_u64(seed ^ 0xFA_017),
+            hermetic: false,
             client_timeout: SimDuration::from_secs(30),
         }
+    }
+
+    /// Switches the plan to hermetic mode: every request's fault decision
+    /// becomes a pure function of `(plan seed, endpoint, virtual time)`
+    /// rather than the next draw of a shared stream. Required for
+    /// crash-resume determinism — a resumed campaign skips completed
+    /// requests, and with a sequential stream that skip would shift every
+    /// later fault roll.
+    pub fn hermetic(mut self) -> Self {
+        self.hermetic = true;
+        self
     }
 
     /// Overrides the client-side timeout charged for swallowed requests.
@@ -163,6 +187,25 @@ impl FaultPlan {
         })
     }
 
+    /// Hung sessions on one endpoint: `rate` of its requests never answer
+    /// at all (no timeout fires — the connection just sits there). Pairs
+    /// with the orchestrator's watchdog, which reclaims the stuck worker.
+    pub fn stalls(
+        self,
+        endpoint: impl Into<String>,
+        from: SimTime,
+        until: SimTime,
+        rate: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            endpoint: Some(endpoint.into()),
+            from,
+            until,
+            kind: FaultKind::Stall,
+            rate,
+        })
+    }
+
     /// A server brownout: matching requests run `latency_factor` slower
     /// and `error_rate` of them end in HTTP 500.
     pub fn brownout(
@@ -199,24 +242,37 @@ impl FaultPlan {
 
     /// Rolls the plan for one request. The first matching window whose
     /// rate-roll hits decides the action; later windows are not consulted.
+    ///
+    /// In hermetic mode the rolls come from a fresh stream derived from
+    /// `(seed, endpoint, now)`; otherwise from the shared sequential one.
     pub(crate) fn intercept(&mut self, endpoint: &str, now: SimTime) -> Option<FaultAction> {
+        let mut derived;
+        let rng: &mut StdRng = if self.hermetic {
+            derived = StdRng::seed_from_u64(mix64(
+                self.seed ^ 0xFA_017,
+                &[fnv1a(endpoint.as_bytes()), now.as_millis()],
+            ));
+            &mut derived
+        } else {
+            &mut self.rng
+        };
         for w in &self.windows {
             if !w.matches(endpoint, now) {
                 continue;
             }
-            if w.rate < 1.0 && !self.rng.gen_bool(w.rate) {
+            if w.rate < 1.0 && !rng.gen_bool(w.rate) {
                 continue;
             }
             return Some(match w.kind {
                 FaultKind::Timeout => FaultAction::Timeout {
                     after: self.client_timeout,
                 },
+                FaultKind::Stall => FaultAction::Stall,
                 FaultKind::ConnectionReset => FaultAction::Reset {
                     // Connections die partway through: charge a uniform
                     // fraction of the client timeout.
                     after: SimDuration::from_millis(
-                        self.rng
-                            .gen_range(1..=self.client_timeout.as_millis().max(2)),
+                        rng.gen_range(1..=self.client_timeout.as_millis().max(2)),
                     ),
                 },
                 FaultKind::RateLimitStorm => FaultAction::SyntheticRateLimit,
@@ -225,7 +281,7 @@ impl FaultPlan {
                     error_rate,
                 } => FaultAction::Degrade {
                     latency_factor,
-                    fail: error_rate > 0.0 && self.rng.gen_bool(error_rate.min(1.0)),
+                    fail: error_rate > 0.0 && rng.gen_bool(error_rate.min(1.0)),
                 },
             });
         }
@@ -331,5 +387,52 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn bogus_rate_is_rejected() {
         let _ = FaultPlan::new(0).flaky_endpoint("e", t(0), t(1), 1.5);
+    }
+
+    #[test]
+    fn stall_window_hangs_matching_requests() {
+        let mut plan = FaultPlan::new(6).stalls("e", t(0), t(100), 1.0);
+        assert_eq!(plan.intercept("e", t(1)), Some(FaultAction::Stall));
+        assert!(plan.intercept("e", t(100)).is_none(), "until exclusive");
+        assert!(plan.intercept("other", t(1)).is_none());
+    }
+
+    #[test]
+    fn hermetic_rolls_depend_only_on_endpoint_and_time() {
+        let plan = || {
+            FaultPlan::new(8)
+                .hermetic()
+                .flaky_endpoint("e", t(0), t(1000), 0.5)
+        };
+        // The same (endpoint, now) always rolls the same way, however many
+        // unrelated intercepts ran before it.
+        let mut a = plan();
+        let direct = a.intercept("e", t(7));
+        let mut b = plan();
+        for i in 0..100 {
+            b.intercept("e", t(500 + i));
+        }
+        assert_eq!(b.intercept("e", t(7)), direct);
+        // Distinct instants still decorrelate: roughly half the rolls
+        // inside the window hit.
+        let mut c = plan();
+        let hits = (0..1000)
+            .filter(|i| c.intercept("e", t(*i)).is_some())
+            .count();
+        assert!((400..600).contains(&hits), "hermetic rate skew: {hits}");
+    }
+
+    #[test]
+    fn hermetic_plans_differ_across_seeds() {
+        let roll = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::new(seed)
+                .hermetic()
+                .flaky_endpoint("e", t(0), t(1000), 0.5);
+            (0..200)
+                .map(|i| plan.intercept("e", t(i)).is_some())
+                .collect()
+        };
+        assert_eq!(roll(7), roll(7));
+        assert_ne!(roll(7), roll(8));
     }
 }

@@ -35,6 +35,7 @@ pub mod frame;
 pub mod http;
 pub mod ip;
 pub mod latency;
+pub mod mix;
 pub mod sim;
 pub mod transport;
 
@@ -44,5 +45,6 @@ pub use frame::{FrameCodec, FrameError};
 pub use http::{Method, Request, Response, Status};
 pub use ip::{IpPool, RotationPolicy, SimIp};
 pub use latency::LatencyModel;
+pub use mix::{fnv1a, mix64};
 pub use sim::EventQueue;
 pub use transport::{Endpoint, Exchange, Service, Transport, TransportError};

@@ -15,6 +15,7 @@ use crate::frame::FrameCodec;
 use crate::http::{Request, Response, Status};
 use crate::ip::SimIp;
 use crate::latency::LatencyModel;
+use crate::mix::{fnv1a, mix64};
 use bytes::BytesMut;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,12 +65,18 @@ pub enum TransportError {
     /// An injected fault tore the connection down `after` into the
     /// exchange.
     ConnectionReset { after: SimDuration },
+    /// An injected fault hung the session forever: no response, no
+    /// timeout. The caller's worker is stuck until a watchdog reclaims it,
+    /// so no elapsed time can be charged here.
+    Stalled,
 }
 
 impl TransportError {
     /// Whether a retry could plausibly succeed. Timeouts and resets are
     /// transient network conditions; unknown endpoints and garbled frames
-    /// are logic errors that no retry will fix.
+    /// are logic errors that no retry will fix. A stall is not transient
+    /// *within* a query — the session is gone and only the orchestrator's
+    /// watchdog/requeue machinery recovers the job.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -95,6 +102,7 @@ impl fmt::Display for TransportError {
             TransportError::ConnectionReset { after } => {
                 write!(f, "connection reset after {after}")
             }
+            TransportError::Stalled => write!(f, "session stalled indefinitely"),
         }
     }
 }
@@ -104,19 +112,55 @@ impl std::error::Error for TransportError {}
 /// The simulated network: endpoints plus a seeded randomness stream.
 pub struct Transport {
     endpoints: HashMap<String, Endpoint>,
+    seed: u64,
     rng: StdRng,
+    /// Derive each round trip's randomness from `(seed, endpoint, src,
+    /// now)` instead of the shared sequential stream. See [`Self::hermetic`].
+    hermetic: bool,
     codec: FrameCodec,
     faults: Option<FaultPlan>,
+    requests: u64,
 }
 
 impl Transport {
     pub fn new(seed: u64) -> Self {
         Self {
             endpoints: HashMap::new(),
+            seed,
             rng: StdRng::seed_from_u64(seed),
+            hermetic: false,
             codec: FrameCodec,
             faults: None,
+            requests: 0,
         }
+    }
+
+    /// A transport whose per-request randomness (latency draws, server
+    /// processing times, transient-failure rolls) is a pure function of
+    /// `(seed, endpoint, source IP, virtual time)` rather than a shared
+    /// sequential stream.
+    ///
+    /// This is the property crash-resume determinism stands on: a resumed
+    /// campaign replays completed attempts from the journal without touching
+    /// the transport, and hermetic derivation guarantees the remaining live
+    /// attempts still observe exactly the draws they would have seen in an
+    /// uninterrupted run. (Two requests with identical endpoint, source and
+    /// millisecond would share draws; distinct per-attempt source IPs make
+    /// that vanishingly rare and harmless — a correlated latency sample.)
+    pub fn hermetic(seed: u64) -> Self {
+        let mut t = Self::new(seed);
+        t.hermetic = true;
+        t
+    }
+
+    /// Whether this transport derives per-request randomness hermetically.
+    pub fn is_hermetic(&self) -> bool {
+        self.hermetic
+    }
+
+    /// Requests carried (or preempted by faults) since construction.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests
     }
 
     /// Registers (or replaces) an endpoint under `name`.
@@ -157,6 +201,20 @@ impl Transport {
             .endpoints
             .get_mut(endpoint)
             .ok_or_else(|| TransportError::UnknownEndpoint(endpoint.to_string()))?;
+        self.requests += 1;
+
+        // In hermetic mode every draw for this exchange comes from a stream
+        // derived from the request's stable coordinates.
+        let mut derived;
+        let rng: &mut StdRng = if self.hermetic {
+            derived = StdRng::seed_from_u64(mix64(
+                self.seed,
+                &[fnv1a(endpoint.as_bytes()), src.0 as u64, now.as_millis()],
+            ));
+            &mut derived
+        } else {
+            &mut self.rng
+        };
 
         // Consult the fault schedule before any work happens: preempting
         // faults never reach the service, so a timed-out request leaves no
@@ -167,14 +225,17 @@ impl Transport {
                 Some(FaultAction::Timeout { after }) => {
                     return Err(TransportError::Timeout { after });
                 }
+                Some(FaultAction::Stall) => {
+                    return Err(TransportError::Stalled);
+                }
                 Some(FaultAction::Reset { after }) => {
                     return Err(TransportError::ConnectionReset { after });
                 }
                 Some(FaultAction::SyntheticRateLimit) => {
                     // The anti-bot layer answers from the edge: one network
                     // round trip, no server processing.
-                    let leg_out = ep.network.sample(&mut self.rng);
-                    let leg_back = ep.network.sample(&mut self.rng);
+                    let leg_out = ep.network.sample(rng);
+                    let leg_back = ep.network.sample(rng);
                     return Ok((Response::new(Status::TooManyRequests), leg_out + leg_back));
                 }
                 Some(FaultAction::Degrade {
@@ -199,12 +260,12 @@ impl Transport {
         let parsed_req =
             Request::from_wire(wire).map_err(|e| TransportError::Garbled(e.to_string()))?;
 
-        let leg_out = ep.network.sample(&mut self.rng);
+        let leg_out = ep.network.sample(rng);
         let arrival = now + leg_out;
         let Exchange {
             response,
             processing,
-        } = ep.service.handle(src, &parsed_req, arrival, &mut self.rng);
+        } = ep.service.handle(src, &parsed_req, arrival, rng);
 
         // Response leg through the same codec path.
         let mut rbuf = BytesMut::new();
@@ -219,7 +280,7 @@ impl Transport {
         let parsed_resp =
             Response::from_wire(rwire).map_err(|e| TransportError::Garbled(e.to_string()))?;
 
-        let leg_back = ep.network.sample(&mut self.rng);
+        let leg_back = ep.network.sample(rng);
         let mut elapsed = leg_out + processing + leg_back;
 
         // Brownout: the work already happened (and mutated server state),
@@ -454,6 +515,86 @@ mod tests {
             .round_trip("e", client_ip(), &Request::get("/"), SimTime::ZERO)
             .unwrap();
         assert_eq!(resp.status, Status::ServerError);
+    }
+
+    #[test]
+    fn stall_fault_hangs_without_charging_time() {
+        use crate::fault::FaultPlan;
+        let mut t = Transport::new(9);
+        t.register(
+            "e",
+            Endpoint::new(
+                Box::new(Counter(0)),
+                LatencyModel::constant(SimDuration::ZERO),
+            ),
+        );
+        t.set_fault_plan(FaultPlan::new(1).stalls(
+            "e",
+            SimTime::ZERO,
+            SimTime::from_millis(1000),
+            1.0,
+        ));
+        let err = t
+            .round_trip("e", client_ip(), &Request::get("/"), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, TransportError::Stalled);
+        assert!(!err.is_transient(), "stalls need the watchdog, not a retry");
+        assert_eq!(err.elapsed(), SimDuration::ZERO);
+        // The hung request never reached the service...
+        let (resp, _) = t
+            .round_trip(
+                "e",
+                client_ip(),
+                &Request::get("/"),
+                SimTime::from_millis(1000),
+            )
+            .unwrap();
+        assert_eq!(resp.body, "1");
+        // ...but both exchanges count as carried requests.
+        assert_eq!(t.requests_sent(), 2);
+    }
+
+    #[test]
+    fn hermetic_draws_depend_on_request_coordinates_not_history() {
+        let build = || {
+            let mut t = Transport::hermetic(11);
+            t.register(
+                "isp",
+                Endpoint::new(
+                    Box::new(Echo),
+                    LatencyModel::new(SimDuration::from_millis(500), 0.5),
+                ),
+            );
+            t
+        };
+        // Same coordinates, different amounts of prior traffic: identical.
+        let mut a = build();
+        let probe = |t: &mut Transport, ms: u64| {
+            t.round_trip(
+                "isp",
+                client_ip(),
+                &Request::get("/"),
+                SimTime::from_millis(ms),
+            )
+            .unwrap()
+            .1
+        };
+        let direct = probe(&mut a, 77);
+        let mut b = build();
+        for ms in 0..50 {
+            probe(&mut b, ms);
+        }
+        assert_eq!(probe(&mut b, 77), direct, "history leaked into the draw");
+        // Different instants still vary.
+        let mut c = build();
+        let samples: Vec<u64> = (0..20)
+            .map(|i| probe(&mut c, i * 1000).as_millis())
+            .collect();
+        let distinct: std::collections::HashSet<_> = samples.iter().collect();
+        assert!(
+            distinct.len() > 10,
+            "hermetic draws degenerate: {samples:?}"
+        );
     }
 
     #[test]

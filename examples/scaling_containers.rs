@@ -49,9 +49,7 @@ fn main() {
         let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, 9);
         let orch = Orchestrator {
             n_workers: workers,
-            politeness: SimDuration::from_secs(5),
-            seed: 9,
-            retry: None,
+            ..Orchestrator::paper_default(9)
         };
         let report = orch.run(&mut transport, &config, &jobs, &mut pool);
         println!(
@@ -73,8 +71,7 @@ fn main() {
     let orch = Orchestrator {
         n_workers: 200,
         politeness: SimDuration::from_secs(1),
-        seed: 9,
-        retry: None,
+        ..Orchestrator::paper_default(9)
     };
     let report = orch.run(&mut transport, &config, &jobs, &mut pool);
     println!(

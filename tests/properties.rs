@@ -324,9 +324,9 @@ proptest! {
         policy.max_attempts = max_attempts;
         let orch = Orchestrator {
             n_workers: 2,
-            politeness: SimDuration::from_secs(5),
             seed,
             retry: Some(policy),
+            ..Orchestrator::paper_default(seed)
         };
         let mut pool = IpPool::residential(8, RotationPolicy::RoundRobin, seed);
         let report = orch.run(&mut t, &BqtConfig::paper_default(SimDuration::from_secs(45)), &jobs, &mut pool);
