@@ -9,8 +9,8 @@
 //!   table1 table2 table3
 //!   fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b
 //!   scaling strawman ablation-matcher ablation-wait ablation-sampling
-//!   staleness audit drift chaos resume tier-flattening markup-baseline
-//!   upload-consistency robustness policy release
+//!   staleness audit drift chaos resume trace tier-flattening
+//!   markup-baseline upload-consistency robustness policy release
 //! ```
 //!
 //! `--scale quick` (default) runs the full pipeline with ~6 sampled
@@ -36,7 +36,7 @@ fn usage() -> ! {
         "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
          experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
          scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
-         staleness audit drift chaos resume tier-flattening markup-baseline upload-consistency robustness policy"
+         staleness audit drift chaos resume trace tier-flattening markup-baseline upload-consistency robustness policy"
     );
     std::process::exit(2);
 }
@@ -102,6 +102,7 @@ fn main() {
             | "drift"
             | "chaos"
             | "resume"
+            | "trace"
     );
 
     let study = if needs_study {
@@ -149,6 +150,7 @@ fn main() {
         "drift" => ext::drift(args.seed),
         "chaos" => ext::chaos(args.seed),
         "resume" => ext::resume(args.seed),
+        "trace" => ext::trace(args.seed),
         "tier-flattening" => ext::tier_flattening_report(study.expect("study")),
         "markup-baseline" => ext::markup_baseline(study.expect("study")),
         "upload-consistency" => ext::upload_consistency_report(study.expect("study")),

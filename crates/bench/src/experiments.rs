@@ -545,7 +545,7 @@ pub fn scaling(seed: u64) -> String {
     use bbsim_bat::{templates, BatServer};
     use bbsim_isp::CityWorld;
     use bbsim_net::{Endpoint, IpPool, RotationPolicy, SimDuration, Transport};
-    use bqt::{BqtConfig, Orchestrator, QueryJob};
+    use bqt::{BqtConfig, Campaign, QueryJob};
     use std::sync::Arc;
 
     let city = city_by_name("Billings").expect("Billings is a study city");
@@ -577,11 +577,12 @@ pub fn scaling(seed: u64) -> String {
         transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
         let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, seed);
         let config = BqtConfig::paper_default(SimDuration::from_secs(40));
-        let orch = Orchestrator {
-            n_workers: workers,
-            ..Orchestrator::paper_default(seed)
-        };
-        let report = orch.run(&mut transport, &config, &jobs, &mut pool);
+        let report = Campaign::new(seed)
+            .workers(workers)
+            .config(config)
+            .run(&mut transport, &jobs, &mut pool)
+            .expect("journal-less runs cannot hit journal errors")
+            .report();
         t.row(vec![
             workers.to_string(),
             opt_f64(report.mean_hit_duration_s(), 1),
@@ -632,7 +633,7 @@ pub fn ablation_wait(seed: u64) -> String {
     use bbsim_bat::{templates, BatServer};
     use bbsim_isp::CityWorld;
     use bbsim_net::{Endpoint, IpPool, RotationPolicy, SimDuration, Transport};
-    use bqt::{BqtConfig, Orchestrator, QueryJob};
+    use bqt::{BqtConfig, Campaign, QueryJob};
     use std::sync::Arc;
 
     let city = city_by_name("Billings").expect("study city");
@@ -667,11 +668,12 @@ pub fn ablation_wait(seed: u64) -> String {
         let net = server.profile().network_latency;
         transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
         let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, seed);
-        let orch = Orchestrator {
-            n_workers: 32,
-            ..Orchestrator::paper_default(seed)
-        };
-        let report = orch.run(&mut transport, &config, &jobs, &mut pool);
+        let report = Campaign::new(seed)
+            .workers(32)
+            .config(config)
+            .run(&mut transport, &jobs, &mut pool)
+            .expect("journal-less runs cannot hit journal errors")
+            .report();
         let med = report.metrics.median_duration().map(|d| d.as_secs_f64());
         t.row(vec![
             name.to_string(),
@@ -762,7 +764,7 @@ pub fn strawman_vs_bqt(seed: u64) -> String {
     use bbsim_isp::CityWorld;
     use bbsim_net::{Endpoint, IpPool, RotationPolicy, SimDuration, SimIp, Transport};
     use bqt::strawman::run_strawman;
-    use bqt::{BqtConfig, Orchestrator, QueryJob};
+    use bqt::{BqtConfig, Campaign, QueryJob};
     use std::sync::Arc;
 
     let city = city_by_name("Billings").expect("study city");
@@ -805,16 +807,12 @@ pub fn strawman_vs_bqt(seed: u64) -> String {
         })
         .collect();
     let mut pool = IpPool::residential(128, RotationPolicy::RoundRobin, seed);
-    let orch = Orchestrator {
-        n_workers: 32,
-        ..Orchestrator::paper_default(seed)
-    };
-    let report = orch.run(
-        &mut t2,
-        &BqtConfig::paper_default(SimDuration::from_secs(60)),
-        &jobs,
-        &mut pool,
-    );
+    let report = Campaign::new(seed)
+        .workers(32)
+        .config(BqtConfig::paper_default(SimDuration::from_secs(60)))
+        .run(&mut t2, &jobs, &mut pool)
+        .expect("journal-less runs cannot hit journal errors")
+        .report();
 
     let mut t = Table::new(vec!["client", "hit rate", "blocked"]);
     t.row(vec![

@@ -556,7 +556,7 @@ pub fn chaos(seed: u64) -> String {
 pub fn resume(seed: u64) -> String {
     use bbsim_bat::{templates, BatServer};
     use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, SimTime, Transport};
-    use bqt::{BqtConfig, Journal, Orchestrator, QueryJob, RetryPolicy};
+    use bqt::{BqtConfig, Campaign, Journal, Orchestrator, QueryJob, RetryPolicy};
     use std::sync::Arc;
 
     let endpoint = "centurylink/billings";
@@ -600,9 +600,12 @@ pub fn resume(seed: u64) -> String {
 
     let (mut t0, jobs) = setup();
     let mut journal = Journal::in_memory();
-    let truth = orch
-        .run_journaled(&mut t0, &config, &jobs, &mut pool(), &mut journal)
-        .expect("fresh journal");
+    let truth = Campaign::from_orchestrator(orch.clone())
+        .config(config)
+        .journal(&mut journal)
+        .run(&mut t0, &jobs, &mut pool())
+        .expect("fresh journal")
+        .report();
     let full_requests = t0.requests_sent();
 
     let mut t = Table::new(vec![
@@ -615,9 +618,9 @@ pub fn resume(seed: u64) -> String {
     ]);
     t.row(vec![
         "(no crash)".into(),
-        truth.resume.live_attempts.to_string(),
+        truth.resume().live_attempts.to_string(),
         "-".into(),
-        truth.resume.live_attempts.to_string(),
+        truth.resume().live_attempts.to_string(),
         "-".into(),
         "(baseline)".into(),
     ]);
@@ -625,16 +628,23 @@ pub fn resume(seed: u64) -> String {
         let crash_at = SimTime::from_millis(truth.makespan.as_millis() * pct / 100);
         let (mut t1, jobs) = setup();
         let mut journal = Journal::in_memory();
-        orch.run_journaled_with_crash(&mut t1, &config, &jobs, &mut pool(), &mut journal, crash_at)
+        Campaign::from_orchestrator(orch.clone())
+            .config(config)
+            .journal(&mut journal)
+            .crash_at(crash_at)
+            .run(&mut t1, &jobs, &mut pool())
             .expect("fresh journal");
         // Reboot: only the journal bytes survive the crash.
         let mut journal =
             Journal::from_bytes(journal.bytes().expect("memory journal")).expect("recoverable");
         let survived = journal.attempts().len();
         let (mut t2, jobs) = setup();
-        let resumed = orch
-            .run_journaled(&mut t2, &config, &jobs, &mut pool(), &mut journal)
-            .expect("same campaign");
+        let resumed = Campaign::from_orchestrator(orch.clone())
+            .config(config)
+            .journal(&mut journal)
+            .run(&mut t2, &jobs, &mut pool())
+            .expect("same campaign")
+            .report();
         let identical = resumed.records == truth.records
             && resumed.metrics == truth.metrics
             && resumed.makespan == truth.makespan
@@ -642,8 +652,8 @@ pub fn resume(seed: u64) -> String {
         t.row(vec![
             format!("{pct}% of makespan"),
             survived.to_string(),
-            resumed.resume.replayed_attempts.to_string(),
-            resumed.resume.live_attempts.to_string(),
+            resumed.resume().replayed_attempts.to_string(),
+            resumed.resume().live_attempts.to_string(),
             format!("{}/{}", full_requests - t2.requests_sent(), full_requests),
             if identical { "yes" } else { "NO" }.to_string(),
         ]);
@@ -651,6 +661,166 @@ pub fn resume(seed: u64) -> String {
     format!(
         "resume: a journaled campaign killed at arbitrary virtual times and resumed from the\nwrite-ahead journal alone — the resumed report matches the uninterrupted run exactly,\nand journaled attempts are never scraped twice\n\n{}",
         t.render()
+    )
+}
+
+/// Tentpole telemetry — trace: capture a campaign's full event stream as
+/// canonical JSONL, prove every line round-trips through the strict parser
+/// byte-for-byte (the CI schema-drift guard), then rebuild the per-worker
+/// timeline and per-ISP latency histograms from the parsed log alone — the
+/// event log, not the report, is the source of truth here.
+pub fn trace(seed: u64) -> String {
+    use bbsim_bat::{templates, BatServer};
+    use bbsim_net::{Endpoint, IpPool, RotationPolicy, SimDuration, Transport};
+    use bqt::telemetry::jsonl::{parse_line, to_line};
+    use bqt::telemetry::{EventKind, Histogram};
+    use bqt::{BqtConfig, Campaign, JsonlRecorder, QueryJob, RetryPolicy};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let city = city_by_name("Billings").expect("study city");
+    let world = Arc::new(CityWorld::build(city));
+    let mut transport = Transport::hermetic(seed ^ 0x72ACE);
+    for isp in world.isps() {
+        let server = BatServer::new(isp, world.clone());
+        let net = server.profile().network_latency;
+        transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
+    }
+    let mut jobs: Vec<QueryJob> = Vec::new();
+    for isp in world.isps() {
+        jobs.extend(
+            world
+                .addresses()
+                .records()
+                .iter()
+                .take(40)
+                .map(|r| QueryJob {
+                    endpoint: isp.slug().to_string(),
+                    dialect: templates::dialect_of(isp),
+                    input_line: r.listing_line.clone(),
+                    tag: r.id as u64,
+                }),
+        );
+    }
+    let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, seed);
+    let mut rec = JsonlRecorder::new(Vec::new());
+    Campaign::new(seed)
+        .workers(8)
+        .retries(RetryPolicy::paper_default(seed))
+        .config(BqtConfig::paper_default(SimDuration::from_secs(45)))
+        .recorder(&mut rec)
+        .run(&mut transport, &jobs, &mut pool)
+        .expect("journal-less runs cannot hit journal errors")
+        .report();
+    let log = String::from_utf8(rec.into_inner()).expect("JSONL is UTF-8");
+
+    // Schema-drift guard: every emitted line must survive parse → serialize
+    // unchanged. CI runs this experiment and a panic here fails the job.
+    let mut events = Vec::new();
+    for (i, line) in log.lines().enumerate() {
+        let event = parse_line(line)
+            .unwrap_or_else(|e| panic!("event log line {} no longer parses: {e}", i + 1));
+        let reserialized = to_line(&event);
+        if reserialized != line {
+            panic!(
+                "event schema drifted at line {}:\n  logged:       {line}\n  reserialized: {reserialized}",
+                i + 1
+            );
+        }
+        events.push(event);
+    }
+
+    // Everything below is derived from the parsed events.
+    let makespan_ms = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::CampaignEnd { makespan_ms } => Some(makespan_ms),
+            _ => None,
+        })
+        .expect("the stream ends with CampaignEnd");
+
+    // Per-worker timeline: one row per worker, '#' where an attempt was in
+    // flight, '.' where the worker sat idle (politeness, backoff, stagger).
+    let mut spans: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    for e in &events {
+        if let EventKind::AttemptEnd {
+            worker,
+            duration_ms,
+            ..
+        } = e.kind
+        {
+            let end = e.at.as_millis();
+            spans
+                .entry(worker)
+                .or_default()
+                .push((end.saturating_sub(duration_ms), end));
+        }
+    }
+    const WIDTH: u64 = 64;
+    let cell = (makespan_ms / WIDTH).max(1);
+    let mut timeline = String::new();
+    for (worker, spans) in &spans {
+        let mut row = String::new();
+        for c in 0..WIDTH {
+            let (lo, hi) = (c * cell, (c + 1) * cell);
+            let busy = spans.iter().any(|&(b, e)| b < hi && e > lo);
+            row.push(if busy { '#' } else { '.' });
+        }
+        timeline.push_str(&format!("  w{worker:<2} |{row}|\n"));
+    }
+
+    // Per-ISP attempt-latency histograms, rebuilt from AttemptEnd events.
+    let mut per_isp: BTreeMap<&str, Histogram> = BTreeMap::new();
+    for e in &events {
+        if let EventKind::AttemptEnd {
+            ref endpoint,
+            duration_ms,
+            ..
+        } = e.kind
+        {
+            per_isp.entry(endpoint).or_default().record(duration_ms);
+        }
+    }
+    let mut hists = String::new();
+    for (endpoint, h) in &per_isp {
+        hists.push_str(&format!(
+            "  {endpoint}: {} attempts, mean {:.1}s, p95 {:.1}s\n",
+            h.count(),
+            h.mean_ms().unwrap_or(f64::NAN) / 1000.0,
+            h.quantile_ms(0.95).unwrap_or(0) as f64 / 1000.0,
+        ));
+        let peak = h
+            .nonzero_buckets()
+            .iter()
+            .map(|&(_, _, n)| n)
+            .max()
+            .unwrap_or(1);
+        for (lo, hi, n) in h.nonzero_buckets() {
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+            hists.push_str(&format!("    {:>7}-{:<7} ms {bar} {n}\n", lo, hi));
+        }
+    }
+
+    let retries = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Retry { .. }))
+        .count();
+    let faults = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FaultInjected { .. }))
+        .count();
+    format!(
+        "trace: {} events, all round-tripped through the JSONL parser byte-for-byte\n\
+         makespan {:.1} h, {} retries, {} injected faults\n\n\
+         per-worker timeline ({} ms per cell):\n{}\n\
+         attempt latency per ISP (log2 buckets):\n{}",
+        events.len(),
+        makespan_ms as f64 / 3_600_000.0,
+        retries,
+        faults,
+        cell,
+        timeline,
+        hists
     )
 }
 

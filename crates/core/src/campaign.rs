@@ -1,0 +1,290 @@
+//! The one way to run a campaign: a builder over the orchestrator's
+//! discrete-event loop.
+//!
+//! The old `Orchestrator::run` / `run_journaled` / `run_journaled_with_crash`
+//! trio grew one signature per feature; [`Campaign`] replaces them with a
+//! single fluent entry point that composes journaling, simulated crashes
+//! and telemetry recorders freely:
+//!
+//! ```
+//! use bbsim_net::{IpPool, RotationPolicy, Transport};
+//! use bqt::{Campaign, QueryJob};
+//!
+//! let mut transport = Transport::hermetic(11);
+//! let jobs: Vec<QueryJob> = Vec::new();
+//! let mut pool = IpPool::residential(8, RotationPolicy::RoundRobin, 1);
+//! let report = Campaign::new(7)
+//!     .workers(16)
+//!     .run(&mut transport, &jobs, &mut pool)
+//!     .unwrap()
+//!     .report();
+//! assert_eq!(report.records.len(), 0);
+//! ```
+//!
+//! A journaled run binds the campaign manifest before the loop starts; a
+//! `crash_at` run returns [`CampaignOutcome::Crashed`] when virtual time
+//! outlives the process. Attached [`Recorder`]s receive the run's full
+//! event stream (see [`telemetry`](crate::telemetry)).
+
+use crate::client::BqtConfig;
+use crate::driver::QueryJob;
+use crate::journal::{CampaignManifest, Journal, JournalError};
+use crate::orchestrator::{Orchestrator, OrchestratorReport};
+use crate::retry::RetryPolicy;
+use crate::shed::ShedPolicy;
+use crate::telemetry::{Recorder, Telemetry};
+use bbsim_net::{IpPool, SimDuration, SimTime, Transport};
+
+/// Builder for one orchestrated scraping campaign.
+pub struct Campaign<'a> {
+    orch: Orchestrator,
+    config: BqtConfig,
+    journal: Option<&'a mut Journal>,
+    crash_at: Option<SimTime>,
+    recorders: Vec<&'a mut dyn Recorder>,
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign with the paper's orchestration defaults (64 workers, 5 s
+    /// politeness, 300 s watchdog, retries off) and the paper-default BQT
+    /// configuration with a 45 s calibrated pause.
+    pub fn new(seed: u64) -> Self {
+        Self::from_orchestrator(Orchestrator::paper_default(seed))
+    }
+
+    /// Starts from fully custom orchestration parameters.
+    pub fn from_orchestrator(orch: Orchestrator) -> Self {
+        Self {
+            orch,
+            config: BqtConfig::paper_default(SimDuration::from_secs(45)),
+            journal: None,
+            crash_at: None,
+            recorders: Vec::new(),
+        }
+    }
+
+    /// Per-address workflow configuration (wait policy, matcher, …).
+    pub fn config(mut self, config: BqtConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Number of concurrent worker containers.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.orch.n_workers = n;
+        self
+    }
+
+    /// Pause between consecutive jobs on one worker.
+    pub fn politeness(mut self, pause: SimDuration) -> Self {
+        self.orch.politeness = pause;
+        self
+    }
+
+    /// Per-job stall deadline for the watchdog.
+    pub fn watchdog(mut self, deadline: SimDuration) -> Self {
+        self.orch.watchdog = deadline;
+        self
+    }
+
+    /// Enables job-level retries under `policy`.
+    pub fn retries(mut self, policy: RetryPolicy) -> Self {
+        self.orch.retry = Some(policy);
+        self
+    }
+
+    /// Enables AIMD load shedding under `policy`.
+    pub fn shedding(mut self, policy: ShedPolicy) -> Self {
+        self.orch.shed = Some(policy);
+        self
+    }
+
+    /// Makes the run crash-recoverable: finished attempts are journaled
+    /// write-ahead, and attempts already in `journal` are replayed instead
+    /// of re-scraped. The campaign manifest is bound (written or
+    /// validated) before the loop starts.
+    pub fn journal(mut self, journal: &'a mut Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Simulates the process dying once virtual time passes `at`: the run
+    /// returns [`CampaignOutcome::Crashed`] and the journal retains
+    /// exactly the attempts that finished by then.
+    pub fn crash_at(mut self, at: SimTime) -> Self {
+        self.crash_at = Some(at);
+        self
+    }
+
+    /// Attaches a telemetry recorder for the run. May be called multiple
+    /// times; recorders see every event in emission order, and a
+    /// panicking recorder is detached rather than allowed to kill the
+    /// campaign.
+    pub fn recorder(mut self, recorder: &'a mut dyn Recorder) -> Self {
+        self.recorders.push(recorder);
+        self
+    }
+
+    /// The campaign identity a journaled run of `jobs` would bind.
+    pub fn manifest(&self, jobs: &[QueryJob]) -> CampaignManifest {
+        self.orch.manifest(&self.config, jobs)
+    }
+
+    /// Runs the campaign to completion (or to the simulated crash).
+    ///
+    /// `pool` supplies source IPs; each attempt checks out the next
+    /// address, so per-IP request rates stay below BAT rate limits when
+    /// the pool is reasonably sized. With retries enabled, retryable
+    /// outcomes are requeued with capped exponential backoff and exhausted
+    /// jobs are dead-lettered; a per-endpoint circuit breaker defers
+    /// traffic away from consistently failing endpoints. Every address
+    /// produces exactly one record either way.
+    ///
+    /// Journal errors (manifest mismatch, torn write, I/O) surface as
+    /// `Err`; journal-less campaigns cannot fail.
+    pub fn run(
+        self,
+        transport: &mut Transport,
+        jobs: &[QueryJob],
+        pool: &mut IpPool,
+    ) -> Result<CampaignOutcome, JournalError> {
+        let Campaign {
+            orch,
+            config,
+            mut journal,
+            crash_at,
+            recorders,
+        } = self;
+        if let Some(j) = journal.as_deref_mut() {
+            j.bind_manifest(orch.manifest(&config, jobs))?;
+        }
+        let mut tel = Telemetry::new();
+        for r in recorders {
+            tel.attach(r);
+        }
+        Ok(
+            match orch.run_inner(transport, &config, jobs, pool, journal, crash_at, &mut tel)? {
+                Some(report) => CampaignOutcome::Completed(Box::new(report)),
+                None => CampaignOutcome::Crashed,
+            },
+        )
+    }
+}
+
+/// How a [`Campaign`] run ended.
+#[derive(Debug)]
+pub enum CampaignOutcome {
+    /// The campaign ran every job to completion. Boxed: a report carries
+    /// full per-address records and the telemetry summary, and the crashed
+    /// arm would otherwise pay for that inline.
+    Completed(Box<OrchestratorReport>),
+    /// The simulated crash fired first; the journal holds what survived.
+    Crashed,
+}
+
+impl CampaignOutcome {
+    /// The completed report.
+    ///
+    /// # Panics
+    /// If the campaign crashed — use [`completed`](Self::completed) when a
+    /// crash is an expected outcome.
+    pub fn report(self) -> OrchestratorReport {
+        match self {
+            CampaignOutcome::Completed(report) => *report,
+            CampaignOutcome::Crashed => panic!("campaign crashed before completing"),
+        }
+    }
+
+    /// The report if the campaign completed, `None` if it crashed.
+    pub fn completed(self) -> Option<OrchestratorReport> {
+        match self {
+            CampaignOutcome::Completed(report) => Some(*report),
+            CampaignOutcome::Crashed => None,
+        }
+    }
+
+    pub fn crashed(&self) -> bool {
+        matches!(self, CampaignOutcome::Crashed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{EventKind, RingRecorder};
+    use bbsim_bat::{templates, BatServer};
+    use bbsim_census::city_by_name;
+    use bbsim_isp::{CityWorld, Isp};
+    use bbsim_net::{Endpoint, RotationPolicy};
+    use std::sync::Arc;
+
+    fn setup() -> (Transport, Vec<QueryJob>) {
+        let world = Arc::new(CityWorld::build(city_by_name("Billings").unwrap()));
+        let server = BatServer::new(Isp::CenturyLink, world.clone());
+        let net = server.profile().network_latency;
+        let mut t = Transport::hermetic(11);
+        t.register("centurylink/billings", Endpoint::new(Box::new(server), net));
+        let jobs: Vec<QueryJob> = world
+            .addresses()
+            .records()
+            .iter()
+            .take(60)
+            .map(|r| QueryJob {
+                endpoint: "centurylink/billings".to_string(),
+                dialect: templates::dialect_of(Isp::CenturyLink),
+                input_line: r.listing_line.clone(),
+                tag: r.id as u64,
+            })
+            .collect();
+        (t, jobs)
+    }
+
+    #[test]
+    fn builder_composes_journal_crash_and_recorder() {
+        let (mut t, jobs) = setup();
+        let mut pool = IpPool::residential(32, RotationPolicy::RoundRobin, 1);
+        let mut journal = Journal::in_memory();
+        let mut ring = RingRecorder::new(100_000);
+        let outcome = Campaign::new(7)
+            .workers(8)
+            .retries(RetryPolicy::paper_default(7))
+            .journal(&mut journal)
+            .crash_at(SimTime::from_millis(200_000))
+            .recorder(&mut ring)
+            .run(&mut t, &jobs, &mut pool)
+            .unwrap();
+        assert!(outcome.crashed());
+        assert!(outcome.completed().is_none());
+        assert!(
+            !journal.attempts().is_empty(),
+            "journal captured pre-crash work"
+        );
+        assert!(ring.seen() > 0, "recorder saw the pre-crash stream");
+    }
+
+    #[test]
+    fn completed_campaign_reports_and_narrates() {
+        let (mut t, jobs) = setup();
+        let mut pool = IpPool::residential(32, RotationPolicy::RoundRobin, 1);
+        let mut ring = RingRecorder::new(1_000_000);
+        let report = Campaign::new(7)
+            .workers(8)
+            .recorder(&mut ring)
+            .run(&mut t, &jobs, &mut pool)
+            .unwrap()
+            .report();
+        assert_eq!(report.records.len(), jobs.len());
+        // The stream is framed by the campaign span.
+        let first = ring.events().next().unwrap();
+        assert!(matches!(first.kind, EventKind::CampaignBegin { .. }));
+        let last = ring.events().last().unwrap();
+        assert!(matches!(last.kind, EventKind::CampaignEnd { .. }));
+        // The report's aggregated view counted every attempt the ring saw.
+        let attempt_ends = ring
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::AttemptEnd { .. }))
+            .count() as u64;
+        assert_eq!(report.telemetry.attempts, attempt_ends);
+        assert_eq!(report.telemetry.resume().replayed_attempts, 0);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::client::{BqtConfig, WaitPolicy};
 use crate::scrape::{detect_with, DetectedPage, ScrapedPlan};
+use crate::telemetry::{EventKind, EventSink, FaultClass, NullSink};
 use bbsim_address::abbrev::extract_zip;
 use bbsim_address::matching::best_match;
 use bbsim_bat::Dialect;
@@ -88,8 +89,28 @@ pub fn query_address(
     start: SimTime,
     rng: &mut StdRng,
 ) -> QueryRecord {
+    query_address_traced(transport, config, job, src, start, rng, 1, &mut NullSink)
+}
+
+/// [`query_address`], narrating each transport round trip to `sink` as
+/// `page_fetch_begin`/`page_fetch_end` spans plus `fault_injected`
+/// instants. `attempt` only labels the emitted events (the orchestrator's
+/// attempt counter); it does not affect the workflow. Timing is identical
+/// to the untraced path — events observe the clock, never advance it.
+#[allow(clippy::too_many_arguments)]
+pub fn query_address_traced(
+    transport: &mut Transport,
+    config: &BqtConfig,
+    job: &QueryJob,
+    src: SimIp,
+    start: SimTime,
+    rng: &mut StdRng,
+    attempt: u32,
+    sink: &mut dyn EventSink,
+) -> QueryRecord {
     let mut now = start;
     let mut steps = 0u32;
+    let mut fetches = 0u32;
     let mut cookie: Option<String> = None;
     let mut next = NextRequest::Locate(job.input_line.clone());
     let mut suggestion_rounds = 0u32;
@@ -130,6 +151,30 @@ pub fn query_address(
         // Send, with transient-failure and rate-limit retry handling.
         let mut attempts = 0u32;
         let response = loop {
+            let fetch = fetches;
+            fetches += 1;
+            let fetch_start = now;
+            sink.emit(
+                now,
+                EventKind::PageFetchBegin {
+                    tag: job.tag,
+                    attempt,
+                    fetch,
+                },
+            );
+            macro_rules! fetch_end {
+                () => {
+                    sink.emit(
+                        now,
+                        EventKind::PageFetchEnd {
+                            tag: job.tag,
+                            attempt,
+                            fetch,
+                            duration_ms: now.since(fetch_start).as_millis(),
+                        },
+                    )
+                };
+            }
             let (response, elapsed) = match transport.round_trip(&job.endpoint, src, &req, now) {
                 Ok(ok) => ok,
                 Err(e) if e.is_transient() => {
@@ -137,6 +182,18 @@ pub fn query_address(
                     // dead connection is charged, then the step is retried
                     // like any other transient error.
                     now += e.elapsed();
+                    let fault = match &e {
+                        TransportError::ConnectionReset { .. } => FaultClass::Reset,
+                        _ => FaultClass::Timeout,
+                    };
+                    sink.emit(
+                        now,
+                        EventKind::FaultInjected {
+                            endpoint: job.endpoint.clone(),
+                            fault,
+                        },
+                    );
+                    fetch_end!();
                     attempts += 1;
                     if attempts > config.transient_retries {
                         finish!(QueryOutcome::Failed, now, steps);
@@ -146,13 +203,25 @@ pub fn query_address(
                 Err(TransportError::Stalled) => {
                     // The connection hung with no timeout: no time can be
                     // charged here — the watchdog decides when to give up.
+                    sink.emit(
+                        now,
+                        EventKind::FaultInjected {
+                            endpoint: job.endpoint.clone(),
+                            fault: FaultClass::Stall,
+                        },
+                    );
+                    fetch_end!();
                     finish!(QueryOutcome::Stalled, now, steps);
                 }
-                Err(_) => finish!(QueryOutcome::Failed, now, steps),
+                Err(_) => {
+                    fetch_end!();
+                    finish!(QueryOutcome::Failed, now, steps);
+                }
             };
 
             // Charge the wait policy for this page load.
             now += charge_wait(config.wait, elapsed);
+            fetch_end!();
 
             match response.status {
                 Status::Ok => break response,

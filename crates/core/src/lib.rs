@@ -25,10 +25,17 @@
 //! * [`retry`] — job-level robustness: capped exponential backoff with
 //!   seeded jitter, retry classification of outcomes, and per-endpoint
 //!   circuit breakers in virtual time;
+//! * [`campaign`] — the [`Campaign`] builder, the one entry point that
+//!   composes orchestration, journaling, simulated crashes and telemetry
+//!   recorders into a run;
+//! * [`telemetry`] — structured event tracing on the virtual clock: a
+//!   [`Recorder`](telemetry::Recorder) fan-out fed by the orchestrator and
+//!   driver, with ring-buffer, JSONL and aggregating recorders;
 //! * [`strawman`] — the §3.2 baseline: a direct-API client that reuses one
 //!   session cookie and trips the BATs' safeguards, motivating BQT's
 //!   user-mimicry design.
 
+pub mod campaign;
 pub mod client;
 pub mod drift;
 pub mod driver;
@@ -39,13 +46,41 @@ pub mod retry;
 pub mod scrape;
 pub mod shed;
 pub mod strawman;
+pub mod telemetry;
 
+pub use campaign::{Campaign, CampaignOutcome};
 pub use client::{BqtConfig, WaitPolicy};
 pub use drift::DriftMonitor;
-pub use driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
+pub use driver::{query_address, query_address_traced, QueryJob, QueryOutcome, QueryRecord};
 pub use journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
 pub use metrics::{HitRateReport, Metrics};
 pub use orchestrator::{DeadLetter, Orchestrator, OrchestratorReport, ResumeStats};
 pub use retry::{is_retryable, BackoffPolicy, BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use scrape::{DetectedPage, ScrapedPlan, TemplateSet};
 pub use shed::{ShedController, ShedDecision, ShedPolicy};
+pub use telemetry::{
+    Event, EventKind, JsonlRecorder, MetricsAggregator, Recorder, RingRecorder, Telemetry,
+    TelemetrySummary,
+};
+
+/// The ~15 names nearly every campaign-driving example imports.
+///
+/// `use bqt::prelude::*;` covers configuring, running and observing a
+/// campaign; reach into the individual modules for the long tail.
+pub mod prelude {
+    pub use crate::campaign::{Campaign, CampaignOutcome};
+    pub use crate::client::{BqtConfig, WaitPolicy};
+    pub use crate::driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
+    pub use crate::journal::{Journal, JournalError};
+    pub use crate::metrics::Metrics;
+    pub use crate::orchestrator::{DeadLetter, Orchestrator, OrchestratorReport, ResumeStats};
+    pub use crate::retry::RetryPolicy;
+    pub use crate::shed::ShedPolicy;
+    pub use crate::telemetry::{
+        Event, EventKind, JsonlRecorder, MetricsAggregator, Recorder, RingRecorder,
+        TelemetrySummary,
+    };
+    pub use bbsim_net::{
+        Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, SimIp, SimTime, Transport,
+    };
+}

@@ -21,11 +21,10 @@ pub struct Metrics {
     /// Jobs that exhausted their attempt budget and were dead-lettered.
     pub dead_lettered: u64,
     /// Attempts that ended with a hung session (recorded once reclaimed).
+    /// Watchdog reclaims and shed-controller cuts live in the telemetry
+    /// summary (`OrchestratorReport::stalls_reclaimed` / `shed_events`):
+    /// they count supervision *events*, not per-address outcomes.
     pub stalled: u64,
-    /// Workers the watchdog reclaimed from hung sessions.
-    pub stalls_reclaimed: u64,
-    /// Times the load-shedding controller cut the concurrency ceiling.
-    pub shed_events: u64,
     /// Query resolution times of *hit* queries, in seconds.
     durations_s: Vec<f64>,
 }
@@ -63,8 +62,6 @@ impl Metrics {
         self.breaker_trips += other.breaker_trips;
         self.dead_lettered += other.dead_lettered;
         self.stalled += other.stalled;
-        self.stalls_reclaimed += other.stalls_reclaimed;
-        self.shed_events += other.shed_events;
         self.durations_s.extend_from_slice(&other.durations_s);
     }
 
@@ -266,18 +263,14 @@ mod tests {
     }
 
     #[test]
-    fn merge_carries_the_supervision_counters() {
+    fn merge_carries_the_stall_counter() {
         let mut a = Metrics::new();
-        a.stalls_reclaimed = 2;
-        a.shed_events = 1;
+        a.record(&rec(QueryOutcome::Stalled, 0));
         let mut b = Metrics::new();
         b.record(&rec(QueryOutcome::Stalled, 0));
-        b.stalls_reclaimed = 3;
-        b.shed_events = 4;
+        b.record(&rec(QueryOutcome::Stalled, 0));
         a.merge(&b);
-        assert_eq!(a.stalled, 1);
-        assert_eq!(a.stalls_reclaimed, 5);
-        assert_eq!(a.shed_events, 5);
+        assert_eq!(a.stalled, 3);
     }
 
     #[test]

@@ -32,16 +32,20 @@
 //!   pool multiplicatively when a BAT pushes back, recovering additively
 //!   once the storm passes; parked workers wake as the ceiling rises.
 
+use crate::campaign::Campaign;
 use crate::client::BqtConfig;
-use crate::driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
+use crate::driver::{query_address_traced, QueryJob, QueryOutcome, QueryRecord};
 use crate::journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
 use crate::metrics::Metrics;
 use crate::retry::{is_retryable, CircuitBreaker, RetryPolicy};
 use crate::shed::{ShedController, ShedDecision, ShedPolicy};
+use crate::telemetry::{EventKind, EventSink, OutcomeCode, Telemetry, TelemetrySummary};
 use bbsim_net::{mix64, EventQueue, IpPool, SimDuration, SimTime, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+
+pub use crate::telemetry::ResumeStats;
 
 /// Domain separators for the orchestrator's derived-randomness streams.
 const RNG_SALT: u64 = 0x0C_0E57;
@@ -121,18 +125,11 @@ impl Orchestrator {
 
     /// Runs all `jobs` to completion and reports the results.
     ///
-    /// `pool` supplies source IPs; each attempt checks out the next
-    /// address, so per-IP request rates stay below BAT rate limits when
-    /// the pool is reasonably sized.
-    ///
-    /// With a retry policy set, jobs whose outcome is retryable
-    /// ([`QueryOutcome::Failed`] / [`QueryOutcome::Blocked`] /
-    /// [`QueryOutcome::Stalled`]) are requeued with capped exponential
-    /// backoff until the attempt budget runs out, at which point the
-    /// final record stands and the job is listed in
-    /// [`OrchestratorReport::dead_letters`]. A per-endpoint circuit
-    /// breaker defers traffic away from endpoints that are failing
-    /// consistently. Every address produces exactly one record either way.
+    /// Deprecated shim over the [`Campaign`] builder, kept so existing
+    /// callers keep compiling:
+    /// `Campaign::from_orchestrator(orch).config(cfg).run(..)`.
+    #[deprecated(note = "use the Campaign builder: \
+        Campaign::from_orchestrator(orch).config(cfg).run(transport, jobs, pool)")]
     pub fn run(
         &self,
         transport: &mut Transport,
@@ -140,28 +137,19 @@ impl Orchestrator {
         jobs: &[QueryJob],
         pool: &mut IpPool,
     ) -> OrchestratorReport {
-        self.run_inner(transport, config, jobs, pool, None, None)
+        Campaign::from_orchestrator(self.clone())
+            .config(*config)
+            .run(transport, jobs, pool)
             .expect("journal-less runs cannot hit journal errors")
-            .expect("crash-less runs always complete")
+            .report()
     }
 
     /// Runs a journaled (crash-recoverable) campaign.
     ///
-    /// The campaign [`manifest`](Self::manifest) is bound into `journal`
-    /// first: written if the journal is fresh, validated if it holds prior
-    /// entries (a mismatch means the journal belongs to a different
-    /// campaign and is a [`JournalError::ManifestMismatch`]). Attempts
-    /// already journaled are replayed — their records, metrics
-    /// contributions, retry scheduling and dead-lettering are
-    /// reconstructed without touching `transport` — and only the
-    /// remainder is scraped live.
-    ///
-    /// For the resumed report to be byte-identical to an uninterrupted
-    /// run's, `transport` must be hermetic ([`Transport::hermetic`]), any
-    /// fault plan hermetic too, and `pool`/`config`/`jobs` identical to
-    /// the original run. [`OrchestratorReport::resume`] says how much work
-    /// the journal saved; it is deliberately *not* part of [`Metrics`] so
-    /// resumed and uninterrupted reports still compare equal.
+    /// Deprecated shim over the [`Campaign`] builder:
+    /// `Campaign::from_orchestrator(orch).config(cfg).journal(j).run(..)`.
+    #[deprecated(note = "use the Campaign builder: \
+        Campaign::from_orchestrator(orch).config(cfg).journal(journal).run(transport, jobs, pool)")]
     pub fn run_journaled(
         &self,
         transport: &mut Transport,
@@ -170,18 +158,19 @@ impl Orchestrator {
         pool: &mut IpPool,
         journal: &mut Journal,
     ) -> Result<OrchestratorReport, JournalError> {
-        journal.bind_manifest(self.manifest(config, jobs))?;
-        Ok(self
-            .run_inner(transport, config, jobs, pool, Some(journal), None)?
-            .expect("crash-less runs always complete"))
+        Ok(Campaign::from_orchestrator(self.clone())
+            .config(*config)
+            .journal(journal)
+            .run(transport, jobs, pool)?
+            .report())
     }
 
-    /// [`run_journaled`](Self::run_journaled), except the process "dies"
-    /// the moment virtual time passes `crash_at`: the loop stops, nothing
-    /// is reported (`Ok(None)`), and the journal retains exactly the
-    /// attempts that finished by then. Used by the resume tests and the
-    /// `repro resume` experiment to place crashes at arbitrary virtual
-    /// times; a crash after the campaign finished returns the full report.
+    /// [`run_journaled`](Self::run_journaled) with a simulated crash.
+    ///
+    /// Deprecated shim over the [`Campaign`] builder:
+    /// `Campaign::from_orchestrator(orch).config(cfg).journal(j).crash_at(t).run(..)`.
+    #[deprecated(note = "use the Campaign builder: \
+        Campaign::from_orchestrator(orch).config(cfg).journal(journal).crash_at(t).run(transport, jobs, pool)")]
     pub fn run_journaled_with_crash(
         &self,
         transport: &mut Transport,
@@ -191,11 +180,29 @@ impl Orchestrator {
         journal: &mut Journal,
         crash_at: SimTime,
     ) -> Result<Option<OrchestratorReport>, JournalError> {
-        journal.bind_manifest(self.manifest(config, jobs))?;
-        self.run_inner(transport, config, jobs, pool, Some(journal), Some(crash_at))
+        Ok(Campaign::from_orchestrator(self.clone())
+            .config(*config)
+            .journal(journal)
+            .crash_at(crash_at)
+            .run(transport, jobs, pool)?
+            .completed())
     }
 
-    fn run_inner(
+    /// The discrete-event loop shared by every way of running a campaign.
+    ///
+    /// Entered through [`Campaign::run`], which binds the journal manifest
+    /// and assembles the [`Telemetry`] fan-out. Every state transition the
+    /// loop makes is narrated into `tel`; the always-on aggregator's
+    /// summary becomes [`OrchestratorReport::telemetry`].
+    ///
+    /// For a resumed report to be byte-identical to an uninterrupted
+    /// run's, `transport` must be hermetic ([`Transport::hermetic`]), any
+    /// fault plan hermetic too, and `pool`/`config`/`jobs` identical to
+    /// the original run. Journaled runs derive all per-attempt randomness
+    /// from `(seed, tag, attempt)` so replayed work cannot desynchronize
+    /// the draws that live work observes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_inner(
         &self,
         transport: &mut Transport,
         config: &BqtConfig,
@@ -203,6 +210,7 @@ impl Orchestrator {
         pool: &mut IpPool,
         mut journal: Option<&mut Journal>,
         crash_at: Option<SimTime>,
+        tel: &mut Telemetry<'_>,
     ) -> Result<Option<OrchestratorReport>, JournalError> {
         assert!(self.n_workers >= 1, "need at least one worker");
         let journaled = journal.is_some();
@@ -211,10 +219,21 @@ impl Orchestrator {
         // replayed attempts cannot desynchronize live ones.
         let mut rng = StdRng::seed_from_u64(self.seed ^ RNG_SALT);
         let mut queue: EventQueue<Event> = EventQueue::new();
+        tel.emit(
+            SimTime::ZERO,
+            EventKind::CampaignBegin {
+                seed: self.seed,
+                n_jobs: jobs.len() as u32,
+                n_workers: self.n_workers as u32,
+            },
+        );
         // Stagger worker start times slightly so arrival bursts don't all
         // land on the same virtual millisecond.
-        for w in 0..self.n_workers.min(jobs.len().max(1)) {
-            queue.push(SimTime::from_millis(w as u64 * 97), Event::WorkerFree(w));
+        let started = self.n_workers.min(jobs.len().max(1));
+        for w in 0..started {
+            let at = SimTime::from_millis(w as u64 * 97);
+            queue.push(at, Event::WorkerFree(w));
+            tel.emit(at, EventKind::WorkerBegin { worker: w as u32 });
         }
 
         // Jobs waiting for a worker right now, in FIFO order.
@@ -237,7 +256,6 @@ impl Orchestrator {
         let mut records: Vec<QueryRecord> = Vec::with_capacity(jobs.len());
         let mut dead_letters: Vec<DeadLetter> = Vec::new();
         let mut metrics = Metrics::new();
-        let mut resume = ResumeStats::default();
         let mut makespan = SimTime::ZERO;
 
         while let Some((now, event)) = queue.pop() {
@@ -293,6 +311,14 @@ impl Orchestrator {
                         .reopen_time(&job.endpoint)
                         .expect("closed circuits always allow")
                         .max(now + SimDuration::from_millis(1));
+                    tel.emit(
+                        now,
+                        EventKind::BreakerDefer {
+                            tag: job.tag,
+                            endpoint: job.endpoint.clone(),
+                            until_ms: resume_at.as_millis(),
+                        },
+                    );
                     queue.push(resume_at, Event::JobReady(j));
                     queue.push(now, Event::WorkerFree(worker));
                     continue;
@@ -303,6 +329,24 @@ impl Orchestrator {
             let attempt = attempts[j];
             worker_busy[worker] = true;
             n_busy += 1;
+            if attempt == 1 {
+                tel.emit(
+                    now,
+                    EventKind::JobBegin {
+                        tag: job.tag,
+                        endpoint: job.endpoint.clone(),
+                    },
+                );
+            }
+            tel.emit(
+                now,
+                EventKind::AttemptBegin {
+                    tag: job.tag,
+                    attempt,
+                    worker: worker as u32,
+                    endpoint: job.endpoint.clone(),
+                },
+            );
 
             // Write-ahead replay: if this exact (tag, attempt) finished
             // before a crash, take its journaled result verbatim instead
@@ -314,7 +358,13 @@ impl Orchestrator {
             let from_journal = replayed.is_some();
             let rec = match replayed {
                 Some(rec) => {
-                    resume.replayed_attempts += 1;
+                    tel.emit(
+                        now,
+                        EventKind::JournalReplay {
+                            tag: job.tag,
+                            attempt,
+                        },
+                    );
                     rec
                 }
                 None => {
@@ -329,10 +379,14 @@ impl Orchestrator {
                             self.seed ^ RNG_SALT,
                             &[job.tag, attempt as u64],
                         ));
-                        query_address(transport, config, job, src, now, &mut arng)
+                        query_address_traced(
+                            transport, config, job, src, now, &mut arng, attempt, tel,
+                        )
                     } else {
                         let src = pool.next();
-                        query_address(transport, config, job, src, now, &mut rng)
+                        query_address_traced(
+                            transport, config, job, src, now, &mut rng, attempt, tel,
+                        )
                     };
                     if rec.outcome == QueryOutcome::Stalled {
                         // The watchdog reclaims the hung worker: charge
@@ -340,15 +394,32 @@ impl Orchestrator {
                         // hit after the deadline would have fired).
                         rec.duration = rec.duration.max(self.watchdog);
                     }
-                    resume.live_attempts += 1;
                     rec
                 }
             };
-            if rec.outcome == QueryOutcome::Stalled {
-                metrics.stalls_reclaimed += 1;
-            }
             let done = now + rec.duration;
             makespan = makespan.max(done);
+            tel.emit(
+                done,
+                EventKind::AttemptEnd {
+                    tag: job.tag,
+                    attempt,
+                    worker: worker as u32,
+                    endpoint: job.endpoint.clone(),
+                    outcome: OutcomeCode::of(&rec.outcome),
+                    duration_ms: rec.duration.as_millis(),
+                    steps: rec.steps,
+                },
+            );
+            if rec.outcome == QueryOutcome::Stalled {
+                tel.emit(
+                    done,
+                    EventKind::StallReclaimed {
+                        tag: job.tag,
+                        worker: worker as u32,
+                    },
+                );
+            }
 
             // Write-ahead: journal the attempt before folding it into the
             // report, but only if it finished before the simulated crash —
@@ -363,8 +434,11 @@ impl Orchestrator {
             // the resumed controller must retrace the original's path).
             if let Some(ctrl) = shed_ctrl.as_mut() {
                 match ctrl.observe(done, is_retryable(&rec.outcome)) {
-                    ShedDecision::Cut(_) => metrics.shed_events += 1,
-                    ShedDecision::Raise(_) => {
+                    ShedDecision::Cut(limit) => {
+                        tel.emit(done, EventKind::ShedCut { limit });
+                    }
+                    ShedDecision::Raise(limit) => {
+                        tel.emit(done, EventKind::ShedRaise { limit });
                         if let Some(w) = shed_parked.pop() {
                             queue.push(done, Event::WorkerFree(w));
                         }
@@ -374,6 +448,7 @@ impl Orchestrator {
             }
 
             let mut requeued = false;
+            let mut dead_lettered = false;
             if let Some(policy) = &self.retry {
                 histories[j].push(rec.outcome.clone());
                 let failed = is_retryable(&rec.outcome);
@@ -381,6 +456,12 @@ impl Orchestrator {
                     if failed {
                         if b.on_failure(&job.endpoint, done) {
                             metrics.breaker_trips += 1;
+                            tel.emit(
+                                done,
+                                EventKind::BreakerTrip {
+                                    endpoint: job.endpoint.clone(),
+                                },
+                            );
                         }
                     } else {
                         b.on_success(&job.endpoint);
@@ -390,10 +471,19 @@ impl Orchestrator {
                     if attempts[j] < policy.max_attempts {
                         metrics.retries += 1;
                         let delay = policy.backoff.delay(job.tag, attempts[j]);
+                        tel.emit(
+                            done,
+                            EventKind::Retry {
+                                tag: job.tag,
+                                next_attempt: attempts[j] + 1,
+                                delay_ms: delay.as_millis(),
+                            },
+                        );
                         queue.push(done + delay, Event::JobReady(j));
                         requeued = true;
                     } else {
                         metrics.dead_lettered += 1;
+                        dead_lettered = true;
                         dead_letters.push(DeadLetter {
                             tag: job.tag,
                             attempts: attempts[j],
@@ -404,6 +494,15 @@ impl Orchestrator {
                 }
             }
             if !requeued {
+                tel.emit(
+                    done,
+                    EventKind::JobEnd {
+                        tag: job.tag,
+                        outcome: OutcomeCode::of(&rec.outcome),
+                        attempts: attempts[j],
+                        dead_lettered,
+                    },
+                );
                 metrics.record(&rec);
                 records.push(rec);
             }
@@ -411,13 +510,23 @@ impl Orchestrator {
             queue.push(done + self.politeness, Event::WorkerFree(worker));
         }
 
+        for w in 0..started {
+            tel.emit(makespan, EventKind::WorkerEnd { worker: w as u32 });
+        }
+        tel.emit(
+            makespan,
+            EventKind::CampaignEnd {
+                makespan_ms: makespan.as_millis(),
+            },
+        );
+
         Ok(Some(OrchestratorReport {
             records,
             metrics,
             makespan,
             dead_letters,
             concurrency_timeline: shed_ctrl.map(|c| c.timeline().to_vec()).unwrap_or_default(),
-            resume,
+            telemetry: tel.summary(),
         }))
     }
 }
@@ -436,19 +545,6 @@ pub struct DeadLetter {
     pub history: Vec<QueryOutcome>,
 }
 
-/// How much work a resumed run inherited from its journal.
-///
-/// Kept outside [`Metrics`] on purpose: resumed and uninterrupted runs of
-/// the same campaign must produce *equal* metrics, and these counters are
-/// exactly what differs between them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ResumeStats {
-    /// Attempts answered from the journal (no scraping).
-    pub replayed_attempts: u64,
-    /// Attempts actually executed against the transport.
-    pub live_attempts: u64,
-}
-
 /// Everything an orchestrated run produced.
 #[derive(Debug, Clone)]
 pub struct OrchestratorReport {
@@ -465,8 +561,10 @@ pub struct OrchestratorReport {
     /// moved the concurrency ceiling (empty when shedding is off). The
     /// first entry is the starting ceiling.
     pub concurrency_timeline: Vec<(SimTime, u32)>,
-    /// Journal bookkeeping for resumed runs (zeros when not journaled).
-    pub resume: ResumeStats,
+    /// The run's aggregated event stream: counter families plus
+    /// per-endpoint and per-worker histograms. The supervision views
+    /// below are computed from it.
+    pub telemetry: TelemetrySummary,
 }
 
 impl OrchestratorReport {
@@ -479,6 +577,25 @@ impl OrchestratorReport {
         } else {
             Some(d.iter().sum::<f64>() / d.len() as f64)
         }
+    }
+
+    /// Journal bookkeeping for resumed runs (zeros when not journaled).
+    ///
+    /// Deliberately outside [`Metrics`]: resumed and uninterrupted runs
+    /// must produce *equal* metrics, and this split is exactly what
+    /// differs between them.
+    pub fn resume(&self) -> ResumeStats {
+        self.telemetry.resume()
+    }
+
+    /// Times the load-shedding controller cut the concurrency ceiling.
+    pub fn shed_events(&self) -> u64 {
+        self.telemetry.shed_cuts
+    }
+
+    /// Workers the watchdog reclaimed from hung sessions.
+    pub fn stalls_reclaimed(&self) -> u64 {
+        self.telemetry.stalls_reclaimed
     }
 }
 
@@ -529,7 +646,11 @@ mod tests {
             ..Orchestrator::paper_default(1)
         };
         let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
-        let report = orch.run(&mut t, &config(), &jobs, &mut pool);
+        let report = Campaign::from_orchestrator(orch)
+            .config(config())
+            .run(&mut t, &jobs, &mut pool)
+            .unwrap()
+            .report();
         assert_eq!(report.records.len(), jobs.len());
         let mut tags: Vec<u64> = report.records.iter().map(|r| r.tag).collect();
         tags.sort_unstable();
@@ -541,19 +662,21 @@ mod tests {
     fn more_workers_shrink_makespan() {
         let (mut t1, jobs) = setup();
         let mut pool1 = IpPool::residential(256, RotationPolicy::RoundRobin, 2);
-        let serial = Orchestrator {
-            n_workers: 1,
-            ..Orchestrator::paper_default(2)
-        }
-        .run(&mut t1, &config(), &jobs, &mut pool1);
+        let serial = Campaign::new(2)
+            .workers(1)
+            .config(config())
+            .run(&mut t1, &jobs, &mut pool1)
+            .unwrap()
+            .report();
 
         let (mut t2, jobs2) = setup();
         let mut pool2 = IpPool::residential(256, RotationPolicy::RoundRobin, 2);
-        let parallel = Orchestrator {
-            n_workers: 50,
-            ..Orchestrator::paper_default(2)
-        }
-        .run(&mut t2, &config(), &jobs2, &mut pool2);
+        let parallel = Campaign::new(2)
+            .workers(50)
+            .config(config())
+            .run(&mut t2, &jobs2, &mut pool2)
+            .unwrap()
+            .report();
 
         assert!(
             parallel.makespan.as_millis() * 5 < serial.makespan.as_millis(),
@@ -571,11 +694,12 @@ mod tests {
         for &n in &[1usize, 50, 200] {
             let (mut t, jobs) = setup();
             let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, 3);
-            let report = Orchestrator {
-                n_workers: n,
-                ..Orchestrator::paper_default(3)
-            }
-            .run(&mut t, &config(), &jobs, &mut pool);
+            let report = Campaign::new(3)
+                .workers(n)
+                .config(config())
+                .run(&mut t, &jobs, &mut pool)
+                .unwrap()
+                .report();
             means.push(report.mean_hit_duration_s().unwrap());
         }
         let min = means.iter().cloned().fold(f64::MAX, f64::min);
@@ -589,12 +713,13 @@ mod tests {
         // the BAT's per-IP limiter starts blocking.
         let (mut t, jobs) = setup();
         let mut pool = IpPool::residential(1, RotationPolicy::RoundRobin, 4);
-        let report = Orchestrator {
-            n_workers: 100,
-            politeness: SimDuration::from_secs(1),
-            ..Orchestrator::paper_default(4)
-        }
-        .run(&mut t, &config(), &jobs, &mut pool);
+        let report = Campaign::new(4)
+            .workers(100)
+            .politeness(SimDuration::from_secs(1))
+            .config(config())
+            .run(&mut t, &jobs, &mut pool)
+            .unwrap()
+            .report();
         assert!(
             report.metrics.blocked > 0,
             "expected rate-limit blocks, got {:?}",
@@ -605,9 +730,12 @@ mod tests {
     #[test]
     fn hit_rate_stays_high_under_paper_defaults() {
         let (mut t, jobs) = setup();
-        let orch = Orchestrator::paper_default(5);
         let mut pool = IpPool::residential(128, RotationPolicy::RoundRobin, 5);
-        let report = orch.run(&mut t, &config(), &jobs, &mut pool);
+        let report = Campaign::new(5)
+            .config(config())
+            .run(&mut t, &jobs, &mut pool)
+            .unwrap()
+            .report();
         assert!(
             report.metrics.hit_rate() > 0.75,
             "hit rate {}",
@@ -619,13 +747,14 @@ mod tests {
     fn runs_with_more_workers_than_jobs() {
         let (mut t, jobs) = setup();
         let few: Vec<QueryJob> = jobs.into_iter().take(3).collect();
-        let orch = Orchestrator {
-            n_workers: 64,
-            politeness: SimDuration::from_secs(1),
-            ..Orchestrator::paper_default(6)
-        };
         let mut pool = IpPool::residential(8, RotationPolicy::RoundRobin, 6);
-        let report = orch.run(&mut t, &config(), &few, &mut pool);
+        let report = Campaign::new(6)
+            .workers(64)
+            .politeness(SimDuration::from_secs(1))
+            .config(config())
+            .run(&mut t, &few, &mut pool)
+            .unwrap()
+            .report();
         assert_eq!(report.records.len(), 3);
     }
 
@@ -636,20 +765,23 @@ mod tests {
             let (mut t, jobs) = setup_with(Transport::hermetic(11));
             let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
             let mut journal = Journal::in_memory();
-            let orch = Orchestrator {
+            Campaign::from_orchestrator(Orchestrator {
                 n_workers: 16,
                 ..Orchestrator::with_retries(7)
-            };
-            orch.run_journaled(&mut t, &config(), &jobs, &mut pool, &mut journal)
-                .unwrap()
+            })
+            .config(config())
+            .journal(&mut journal)
+            .run(&mut t, &jobs, &mut pool)
+            .unwrap()
+            .report()
         };
         let a = run();
         let b = run();
         assert_eq!(a.records, b.records);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.resume.replayed_attempts, 0);
-        assert!(a.resume.live_attempts >= 150);
+        assert_eq!(a.resume().replayed_attempts, 0);
+        assert!(a.resume().live_attempts >= 150);
     }
 
     #[test]
@@ -666,17 +798,20 @@ mod tests {
         let (mut t, jobs) = setup_with(t);
         let few: Vec<QueryJob> = jobs.into_iter().take(40).collect();
         let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 2);
-        let orch = Orchestrator {
+        let report = Campaign::from_orchestrator(Orchestrator {
             n_workers: 8,
             watchdog: SimDuration::from_secs(120),
             ..Orchestrator::with_retries(9)
-        };
-        let report = orch.run(&mut t, &config(), &few, &mut pool);
+        })
+        .config(config())
+        .run(&mut t, &few, &mut pool)
+        .unwrap()
+        .report();
         assert_eq!(report.records.len(), 40, "no job lost to a hang");
         assert!(
-            report.metrics.stalls_reclaimed > 0,
+            report.stalls_reclaimed() > 0,
             "stalls were injected: {:?}",
-            report.metrics
+            report.telemetry
         );
         // Every stalled attempt was charged at least the watchdog.
         for r in &report.records {
@@ -700,17 +835,78 @@ mod tests {
         let (mut t, jobs) = setup_with(t);
         let few: Vec<QueryJob> = jobs.into_iter().take(10).collect();
         let mut pool = IpPool::residential(16, RotationPolicy::RoundRobin, 3);
-        let orch = Orchestrator {
+        let report = Campaign::from_orchestrator(Orchestrator {
             n_workers: 4,
             watchdog: SimDuration::from_secs(60),
             ..Orchestrator::with_retries(10)
-        };
-        let report = orch.run(&mut t, &config(), &few, &mut pool);
+        })
+        .config(config())
+        .run(&mut t, &few, &mut pool)
+        .unwrap()
+        .report();
         assert_eq!(report.dead_letters.len(), 10);
         for dl in &report.dead_letters {
             assert_eq!(dl.attempts as usize, dl.history.len());
             assert_eq!(dl.history.last(), Some(&dl.last_outcome));
             assert!(dl.history.iter().all(|o| *o == QueryOutcome::Stalled));
         }
+    }
+
+    /// The deprecated `run*` trio must keep compiling and must stay
+    /// behavior-identical to the builder it delegates to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shims_match_the_builder() {
+        let orch = Orchestrator {
+            n_workers: 16,
+            ..Orchestrator::with_retries(7)
+        };
+
+        let (mut t1, jobs1) = setup_with(Transport::hermetic(11));
+        let mut pool1 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+        let legacy = orch.run(&mut t1, &config(), &jobs1, &mut pool1);
+        let (mut t2, jobs2) = setup_with(Transport::hermetic(11));
+        let mut pool2 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+        let built = Campaign::from_orchestrator(orch.clone())
+            .config(config())
+            .run(&mut t2, &jobs2, &mut pool2)
+            .unwrap()
+            .report();
+        assert_eq!(legacy.records, built.records);
+        assert_eq!(legacy.metrics, built.metrics);
+        assert_eq!(legacy.makespan, built.makespan);
+
+        let (mut t3, jobs3) = setup_with(Transport::hermetic(11));
+        let mut pool3 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+        let mut journal_a = Journal::in_memory();
+        let legacy_j = orch
+            .run_journaled(&mut t3, &config(), &jobs3, &mut pool3, &mut journal_a)
+            .unwrap();
+        let (mut t4, jobs4) = setup_with(Transport::hermetic(11));
+        let mut pool4 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+        let mut journal_b = Journal::in_memory();
+        let built_j = Campaign::from_orchestrator(orch.clone())
+            .config(config())
+            .journal(&mut journal_b)
+            .run(&mut t4, &jobs4, &mut pool4)
+            .unwrap()
+            .report();
+        assert_eq!(legacy_j.records, built_j.records);
+        assert_eq!(legacy_j.metrics, built_j.metrics);
+
+        let (mut t5, jobs5) = setup_with(Transport::hermetic(11));
+        let mut pool5 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+        let mut journal_c = Journal::in_memory();
+        let crashed = orch
+            .run_journaled_with_crash(
+                &mut t5,
+                &config(),
+                &jobs5,
+                &mut pool5,
+                &mut journal_c,
+                SimTime::from_millis(60_000),
+            )
+            .unwrap();
+        assert!(crashed.is_none(), "early crash loses the report");
     }
 }

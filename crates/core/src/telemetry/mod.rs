@@ -1,0 +1,474 @@
+//! Structured, deterministic run telemetry (the ROADMAP's observability
+//! layer).
+//!
+//! Every campaign narrates itself as a stream of typed [`Event`]s on the
+//! virtual clock: nested spans (campaign → worker → job → attempt →
+//! page-fetch) plus instants for the supervision machinery (retries,
+//! breaker trips, shed decisions, stall reclaims, journal replays, fault
+//! injections). The orchestrator and driver emit events inline with the
+//! discrete-event loop; everything an operator used to dig out of ad-hoc
+//! report fields is now derivable from the stream.
+//!
+//! ## Recorders
+//!
+//! A [`Recorder`] receives each event by reference. Shipped recorders:
+//!
+//! * [`RingRecorder`] — bounded in-memory buffer of the most recent events;
+//! * [`JsonlRecorder`] — writes one canonical JSON object per line, exactly
+//!   re-parseable with [`jsonl::parse_line`];
+//! * [`MetricsAggregator`] — folds the stream into counter families and
+//!   per-endpoint/per-worker histograms ([`TelemetrySummary`]); one is
+//!   always attached internally, and its summary lands in
+//!   `OrchestratorReport::telemetry`.
+//!
+//! External recorders are attached through [`Telemetry`], the fan-out used
+//! by `Campaign::recorder`. A recorder that panics is *poisoned* — dropped
+//! from the fan-out for the rest of the run — so a broken observer can
+//! never take a campaign down with it.
+//!
+//! ## Determinism
+//!
+//! Events are derived from the same seeded draws as execution, so two runs
+//! of the same campaign produce identical streams. Events are further
+//! classified as *replay-stable* ([`EventKind::replay_stable`]) or
+//! *ephemeral*: a journaled resume retraces the stable subset byte-for-byte
+//! (the schedule, outcomes and virtual times are reconstructed from the
+//! journal), while ephemeral events — per-page fetches, fault injections,
+//! replay markers — describe transport work that a replayed attempt never
+//! performs. Filter to stable events (`JsonlRecorder::stable`) when a log
+//! must survive crash/resume unchanged.
+
+mod aggregate;
+pub mod jsonl;
+mod ring;
+
+pub use aggregate::{
+    EndpointStats, Histogram, MetricsAggregator, ResumeStats, TelemetrySummary, WorkerStats,
+};
+pub use jsonl::{JsonlRecorder, ParseError};
+pub use ring::RingRecorder;
+
+use crate::driver::QueryOutcome;
+use bbsim_net::SimTime;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One telemetry event: a kind stamped with virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time of the event (span begins/ends carry their own edge).
+    pub at: SimTime,
+    pub kind: EventKind,
+}
+
+/// Outcome of a finished attempt, in event form.
+///
+/// [`QueryOutcome`] carries the scraped plans; events only need the
+/// classification, so this is the flattened code that also round-trips
+/// through the JSONL schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeCode {
+    Plans,
+    NoService,
+    Unserviceable,
+    Blocked,
+    Failed,
+    Stalled,
+}
+
+impl OutcomeCode {
+    /// Flattens a driver outcome to its code.
+    pub fn of(outcome: &QueryOutcome) -> Self {
+        match outcome {
+            QueryOutcome::Plans(_) => OutcomeCode::Plans,
+            QueryOutcome::NoService => OutcomeCode::NoService,
+            QueryOutcome::Unserviceable => OutcomeCode::Unserviceable,
+            QueryOutcome::Blocked => OutcomeCode::Blocked,
+            QueryOutcome::Failed => OutcomeCode::Failed,
+            QueryOutcome::Stalled => OutcomeCode::Stalled,
+        }
+    }
+
+    /// Whether this outcome counts toward the paper's hit rate.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, OutcomeCode::Plans | OutcomeCode::NoService)
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OutcomeCode::Plans => "plans",
+            OutcomeCode::NoService => "no_service",
+            OutcomeCode::Unserviceable => "unserviceable",
+            OutcomeCode::Blocked => "blocked",
+            OutcomeCode::Failed => "failed",
+            OutcomeCode::Stalled => "stalled",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "plans" => OutcomeCode::Plans,
+            "no_service" => OutcomeCode::NoService,
+            "unserviceable" => OutcomeCode::Unserviceable,
+            "blocked" => OutcomeCode::Blocked,
+            "failed" => OutcomeCode::Failed,
+            "stalled" => OutcomeCode::Stalled,
+            _ => return None,
+        })
+    }
+}
+
+/// The fault class behind a [`EventKind::FaultInjected`] instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    Timeout,
+    Reset,
+    Stall,
+}
+
+impl FaultClass {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultClass::Timeout => "timeout",
+            FaultClass::Reset => "reset",
+            FaultClass::Stall => "stall",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "timeout" => FaultClass::Timeout,
+            "reset" => FaultClass::Reset,
+            "stall" => FaultClass::Stall,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything a campaign can narrate.
+///
+/// Span kinds come in `…Begin`/`…End` pairs keyed by their identifying
+/// fields (worker id, job tag, `(tag, attempt)`, `(tag, attempt, fetch)`);
+/// every begin gets exactly one end at a timestamp `>=` its own. The rest
+/// are instants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Campaign span opens at virtual zero.
+    CampaignBegin {
+        seed: u64,
+        n_jobs: u32,
+        n_workers: u32,
+    },
+    /// Campaign span closes at the makespan.
+    CampaignEnd { makespan_ms: u64 },
+    /// Worker `worker` enters the pool (at its staggered start).
+    WorkerBegin { worker: u32 },
+    /// Worker `worker` retires (at the makespan).
+    WorkerEnd { worker: u32 },
+    /// First attempt of job `tag` starts.
+    JobBegin { tag: u64, endpoint: String },
+    /// Job `tag` produced its final record.
+    JobEnd {
+        tag: u64,
+        outcome: OutcomeCode,
+        attempts: u32,
+        dead_lettered: bool,
+    },
+    /// Attempt `attempt` of job `tag` starts on `worker`.
+    AttemptBegin {
+        tag: u64,
+        attempt: u32,
+        worker: u32,
+        endpoint: String,
+    },
+    /// The attempt finished (live or replayed) and its time was charged.
+    AttemptEnd {
+        tag: u64,
+        attempt: u32,
+        worker: u32,
+        endpoint: String,
+        outcome: OutcomeCode,
+        duration_ms: u64,
+        steps: u32,
+    },
+    /// A retryable outcome was requeued with backoff.
+    Retry {
+        tag: u64,
+        next_attempt: u32,
+        delay_ms: u64,
+    },
+    /// A circuit breaker opened (or re-opened) on `endpoint`.
+    BreakerTrip { endpoint: String },
+    /// An open circuit deferred job `tag` until `until_ms`.
+    BreakerDefer {
+        tag: u64,
+        endpoint: String,
+        until_ms: u64,
+    },
+    /// The shed controller cut the concurrency ceiling to `limit`.
+    ShedCut { limit: u32 },
+    /// The shed controller raised the concurrency ceiling to `limit`.
+    ShedRaise { limit: u32 },
+    /// The watchdog reclaimed `worker` from a hung session.
+    StallReclaimed { tag: u64, worker: u32 },
+    /// The attempt was answered from the journal, not the transport.
+    /// *Ephemeral*: only resumed runs emit it.
+    JournalReplay { tag: u64, attempt: u32 },
+    /// The transport injected a fault into a live page fetch. *Ephemeral.*
+    FaultInjected { endpoint: String, fault: FaultClass },
+    /// A live page fetch (one transport round trip) started. *Ephemeral.*
+    PageFetchBegin { tag: u64, attempt: u32, fetch: u32 },
+    /// The page fetch finished (including the settle wait). *Ephemeral.*
+    PageFetchEnd {
+        tag: u64,
+        attempt: u32,
+        fetch: u32,
+        duration_ms: u64,
+    },
+}
+
+impl EventKind {
+    /// Whether a journaled resume retraces this event identically.
+    ///
+    /// Stable events are functions of the campaign's schedule, outcomes and
+    /// virtual times — all reconstructed exactly from the journal. The
+    /// ephemeral ones describe live transport work (page fetches, fault
+    /// injections) or the act of replaying itself, which an uninterrupted
+    /// run and a resumed run necessarily disagree on.
+    pub fn replay_stable(&self) -> bool {
+        !matches!(
+            self,
+            EventKind::JournalReplay { .. }
+                | EventKind::FaultInjected { .. }
+                | EventKind::PageFetchBegin { .. }
+                | EventKind::PageFetchEnd { .. }
+        )
+    }
+
+    /// The event's name in the JSONL schema.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CampaignBegin { .. } => "campaign_begin",
+            EventKind::CampaignEnd { .. } => "campaign_end",
+            EventKind::WorkerBegin { .. } => "worker_begin",
+            EventKind::WorkerEnd { .. } => "worker_end",
+            EventKind::JobBegin { .. } => "job_begin",
+            EventKind::JobEnd { .. } => "job_end",
+            EventKind::AttemptBegin { .. } => "attempt_begin",
+            EventKind::AttemptEnd { .. } => "attempt_end",
+            EventKind::Retry { .. } => "retry",
+            EventKind::BreakerTrip { .. } => "breaker_trip",
+            EventKind::BreakerDefer { .. } => "breaker_defer",
+            EventKind::ShedCut { .. } => "shed_cut",
+            EventKind::ShedRaise { .. } => "shed_raise",
+            EventKind::StallReclaimed { .. } => "stall_reclaimed",
+            EventKind::JournalReplay { .. } => "journal_replay",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::PageFetchBegin { .. } => "page_fetch_begin",
+            EventKind::PageFetchEnd { .. } => "page_fetch_end",
+        }
+    }
+}
+
+/// Receives every event of a run, in emission order.
+///
+/// Implementations must not assume they see a *complete* run: a simulated
+/// crash stops the stream mid-campaign. A panicking recorder is poisoned
+/// (silently detached) rather than allowed to abort the campaign.
+pub trait Recorder {
+    fn record(&mut self, event: &Event);
+}
+
+/// The emission side: where the orchestrator and driver hand events in.
+///
+/// The driver takes a `&mut dyn EventSink` so per-page events flow through
+/// the same fan-out as the orchestrator's own; [`NullSink`] keeps the plain
+/// [`query_address`](crate::driver::query_address) entry point free of
+/// telemetry.
+pub trait EventSink {
+    fn emit(&mut self, at: SimTime, kind: EventKind);
+}
+
+/// Discards every event.
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _at: SimTime, _kind: EventKind) {}
+}
+
+struct Slot<'a> {
+    recorder: &'a mut dyn Recorder,
+    poisoned: bool,
+}
+
+/// Fans events out to an always-on [`MetricsAggregator`] plus any attached
+/// external recorders, isolating recorder panics.
+pub struct Telemetry<'a> {
+    aggregator: MetricsAggregator,
+    slots: Vec<Slot<'a>>,
+}
+
+impl<'a> Telemetry<'a> {
+    pub fn new() -> Self {
+        Self {
+            aggregator: MetricsAggregator::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Attaches an external recorder for the duration of the run.
+    pub fn attach(&mut self, recorder: &'a mut dyn Recorder) {
+        self.slots.push(Slot {
+            recorder,
+            poisoned: false,
+        });
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        self.aggregator.observe(&event);
+        for slot in &mut self.slots {
+            if slot.poisoned {
+                continue;
+            }
+            // A recorder is an observer; its failure must not rewrite the
+            // campaign's outcome. Poison it and move on.
+            if catch_unwind(AssertUnwindSafe(|| slot.recorder.record(&event))).is_err() {
+                slot.poisoned = true;
+            }
+        }
+    }
+
+    /// Recorders poisoned (detached after a panic) so far.
+    pub fn poisoned(&self) -> usize {
+        self.slots.iter().filter(|s| s.poisoned).count()
+    }
+
+    /// The internal aggregator's current state.
+    pub fn aggregator(&self) -> &MetricsAggregator {
+        &self.aggregator
+    }
+
+    /// Snapshot of the aggregated counters and histograms.
+    pub fn summary(&self) -> TelemetrySummary {
+        self.aggregator.summary().clone()
+    }
+}
+
+impl Default for Telemetry<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventSink for Telemetry<'_> {
+    fn emit(&mut self, at: SimTime, kind: EventKind) {
+        self.dispatch(Event { at, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingRecorder(u64);
+    impl Recorder for CountingRecorder {
+        fn record(&mut self, _event: &Event) {
+            self.0 += 1;
+        }
+    }
+
+    struct PanickyRecorder {
+        before_panic: u64,
+        seen: u64,
+    }
+    impl Recorder for PanickyRecorder {
+        fn record(&mut self, _event: &Event) {
+            if self.seen >= self.before_panic {
+                panic!("recorder blew up");
+            }
+            self.seen += 1;
+        }
+    }
+
+    fn instant(ms: u64) -> (SimTime, EventKind) {
+        (SimTime::from_millis(ms), EventKind::ShedCut { limit: 8 })
+    }
+
+    #[test]
+    fn fan_out_reaches_every_recorder_and_the_aggregator() {
+        let mut a = CountingRecorder(0);
+        let mut b = CountingRecorder(0);
+        let mut tel = Telemetry::new();
+        tel.attach(&mut a);
+        tel.attach(&mut b);
+        for ms in 0..5 {
+            let (at, kind) = instant(ms);
+            tel.emit(at, kind);
+        }
+        assert_eq!(tel.summary().shed_cuts, 5);
+        drop(tel);
+        assert_eq!(a.0, 5);
+        assert_eq!(b.0, 5);
+    }
+
+    #[test]
+    fn panicking_recorder_is_poisoned_not_fatal() {
+        let mut healthy = CountingRecorder(0);
+        let mut bomb = PanickyRecorder {
+            before_panic: 2,
+            seen: 0,
+        };
+        let mut tel = Telemetry::new();
+        tel.attach(&mut bomb);
+        tel.attach(&mut healthy);
+        for ms in 0..6 {
+            let (at, kind) = instant(ms);
+            tel.emit(at, kind);
+        }
+        assert_eq!(tel.poisoned(), 1);
+        // The aggregator and the healthy recorder saw the whole stream.
+        assert_eq!(tel.summary().shed_cuts, 6);
+        drop(tel);
+        assert_eq!(healthy.0, 6);
+    }
+
+    #[test]
+    fn outcome_codes_round_trip_their_names() {
+        for code in [
+            OutcomeCode::Plans,
+            OutcomeCode::NoService,
+            OutcomeCode::Unserviceable,
+            OutcomeCode::Blocked,
+            OutcomeCode::Failed,
+            OutcomeCode::Stalled,
+        ] {
+            assert_eq!(OutcomeCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(OutcomeCode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn stability_classification_matches_the_docs() {
+        assert!(EventKind::AttemptEnd {
+            tag: 1,
+            attempt: 1,
+            worker: 0,
+            endpoint: "e".into(),
+            outcome: OutcomeCode::Failed,
+            duration_ms: 10,
+            steps: 1,
+        }
+        .replay_stable());
+        assert!(!EventKind::JournalReplay { tag: 1, attempt: 1 }.replay_stable());
+        assert!(!EventKind::PageFetchBegin {
+            tag: 1,
+            attempt: 1,
+            fetch: 0
+        }
+        .replay_stable());
+        assert!(!EventKind::FaultInjected {
+            endpoint: "e".into(),
+            fault: FaultClass::Stall
+        }
+        .replay_stable());
+    }
+}

@@ -1,0 +1,92 @@
+//! A bounded in-memory event recorder.
+
+use super::{Event, Recorder};
+use std::collections::VecDeque;
+
+/// Keeps the most recent `capacity` events — the "flight recorder" an
+/// operator reads after something went wrong, without paying for a full
+/// log of a week-long campaign.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    seen: u64,
+}
+
+impl RingRecorder {
+    /// `capacity` of zero is clamped to one (a ring that keeps nothing
+    /// records nothing useful).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            seen: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Total events ever recorded (retained or evicted).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+        self.seen += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::EventKind;
+    use super::*;
+    use bbsim_net::SimTime;
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let mut ring = RingRecorder::new(3);
+        for w in 0..5u32 {
+            ring.record(&Event {
+                at: SimTime::from_millis(w as u64),
+                kind: EventKind::WorkerBegin { worker: w },
+            });
+        }
+        assert_eq!(ring.seen(), 5);
+        assert_eq!(ring.len(), 3);
+        let workers: Vec<u32> = ring
+            .events()
+            .map(|e| match e.kind {
+                EventKind::WorkerBegin { worker } => worker,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(workers, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = RingRecorder::new(0);
+        ring.record(&Event {
+            at: SimTime::ZERO,
+            kind: EventKind::WorkerBegin { worker: 0 },
+        });
+        assert_eq!(ring.len(), 1);
+    }
+}

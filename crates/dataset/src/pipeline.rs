@@ -7,10 +7,12 @@ use bbsim_census::{city_seed, CityProfile};
 use bbsim_isp::{CityWorld, Isp};
 use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, Transport};
 use bqt::{
-    BqtConfig, Journal, JournalError, Metrics, Orchestrator, QueryJob, QueryOutcome, ResumeStats,
-    RetryPolicy, ShedPolicy,
+    BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, Metrics, Orchestrator, QueryJob,
+    QueryOutcome, ResumeStats, RetryPolicy, ShedPolicy,
 };
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufWriter;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -138,6 +140,10 @@ pub fn curate_city_with_faults(
 /// the journaled attempts and scrapes only the remainder; the returned
 /// [`ResumeStats`] (summed over ISPs) say how much the journals saved.
 ///
+/// The campaign directory also gets one `events.jsonl` telemetry log
+/// covering every ISP's campaign in order, restricted to replay-stable
+/// events so a resumed run rewrites the identical log.
+///
 /// The fault `plan`, if any, should itself be hermetic
 /// ([`FaultPlan::hermetic`]) or resumed runs will see different faults
 /// than the original.
@@ -183,6 +189,17 @@ fn curate_city_inner(
     let mut per_isp_metrics = Vec::new();
     let mut per_isp_pause = Vec::new();
     let mut resume = ResumeStats::default();
+
+    // One telemetry log per campaign directory, shared by every ISP's
+    // campaign. Stable events only: a resume must rewrite the same bytes.
+    let mut event_log = match journal_dir {
+        Some(dir) => {
+            let file = File::create(dir.join("events.jsonl"))
+                .map_err(|e| JournalError::Io(e.to_string()))?;
+            Some(JsonlRecorder::stable(BufWriter::new(file)))
+        }
+        None => None,
+    };
 
     for isp in world.isps() {
         // Calibrate the settle pause like the paper: max observed load time
@@ -235,13 +252,22 @@ fn curate_city_inner(
         let report = match journal_dir {
             Some(dir) => {
                 let mut journal = Journal::open(&dir.join(format!("{}.journal", isp.slug())))?;
-                let report =
-                    orch.run_journaled(&mut transport, &config, &jobs, &mut pool, &mut journal)?;
-                resume.replayed_attempts += report.resume.replayed_attempts;
-                resume.live_attempts += report.resume.live_attempts;
+                let mut campaign = Campaign::from_orchestrator(orch)
+                    .config(config)
+                    .journal(&mut journal);
+                if let Some(log) = event_log.as_mut() {
+                    campaign = campaign.recorder(log);
+                }
+                let report = campaign.run(&mut transport, &jobs, &mut pool)?.report();
+                resume.replayed_attempts += report.resume().replayed_attempts;
+                resume.live_attempts += report.resume().live_attempts;
                 report
             }
-            None => orch.run(&mut transport, &config, &jobs, &mut pool),
+            None => Campaign::from_orchestrator(orch)
+                .config(config)
+                .run(&mut transport, &jobs, &mut pool)
+                .expect("journal-less runs cannot hit journal errors")
+                .report(),
         };
 
         // Land hits as dataset rows.
@@ -370,6 +396,8 @@ mod tests {
         let (first, r1) = curate_city_journaled(city, &opts, None, &dir).unwrap();
         assert_eq!(r1.replayed_attempts, 0);
         assert!(r1.live_attempts > 0);
+        let log1 = std::fs::read(dir.join("events.jsonl")).unwrap();
+        assert!(!log1.is_empty(), "campaign directory gets an event log");
 
         // Second run over the same journals: everything replays.
         let (second, r2) = curate_city_journaled(city, &opts, None, &dir).unwrap();
@@ -377,6 +405,8 @@ mod tests {
         assert_eq!(r2.replayed_attempts, r1.live_attempts);
         assert_eq!(first.records, second.records);
         assert_eq!(first.per_isp_metrics, second.per_isp_metrics);
+        let log2 = std::fs::read(dir.join("events.jsonl")).unwrap();
+        assert_eq!(log1, log2, "replayed curation rewrites the same log");
 
         // A different campaign must refuse the same journals.
         let mut other = opts;

@@ -8,9 +8,8 @@
 //! Run with: `cargo run --release --example audit_self_reports [-- "City"]`
 
 use decoding_divide::analysis::audit_form477;
-use decoding_divide::census::city_by_name;
-use decoding_divide::dataset::{curate_city, CurationOptions};
-use decoding_divide::isp::{CityWorld, Form477Report};
+use decoding_divide::isp::Form477Report;
+use decoding_divide::prelude::*;
 
 fn main() {
     let name = std::env::args()

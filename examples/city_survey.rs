@@ -9,8 +9,7 @@
 
 use decoding_divide::analysis::intracity::cell_aligned_cvs;
 use decoding_divide::analysis::{ascii_map, cv_histogram, morans_i_for_isp};
-use decoding_divide::census::city_by_name;
-use decoding_divide::dataset::{aggregate_block_groups, curate_city, CurationOptions};
+use decoding_divide::prelude::*;
 
 fn main() {
     let name = std::env::args()

@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example competition_study [-- "City"]`
 
 use decoding_divide::analysis::{classify_modes, test_competition, CompetitionMode};
-use decoding_divide::census::city_by_name;
-use decoding_divide::dataset::{aggregate_block_groups, curate_city, CurationOptions};
-use decoding_divide::isp::Isp;
+use decoding_divide::prelude::*;
 
 fn main() {
     let name = std::env::args()

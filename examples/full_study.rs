@@ -9,11 +9,9 @@
 use decoding_divide::analysis::{
     fiber_by_income, l1_pairs, morans_i_for_isp, plan_vector_for, test_competition, CompetitionMode,
 };
-use decoding_divide::census::{city_by_name, CityProfile, ALL_CITIES};
-use decoding_divide::dataset::{
-    aggregate_block_groups, curate_city, BlockGroupRow, CurationOptions,
-};
-use decoding_divide::isp::Isp;
+use decoding_divide::census::CityProfile;
+use decoding_divide::dataset::BlockGroupRow;
+use decoding_divide::prelude::*;
 use decoding_divide::stats::median;
 
 fn isps_of(city: &CityProfile) -> Vec<Isp> {

@@ -9,9 +9,8 @@
 
 use decoding_divide::analysis::fiber_by_income;
 use decoding_divide::analysis::income::public_acs;
-use decoding_divide::census::{city_by_name, IncomeBand};
-use decoding_divide::dataset::{aggregate_block_groups, curate_city, CurationOptions};
-use decoding_divide::isp::Isp;
+use decoding_divide::census::IncomeBand;
+use decoding_divide::prelude::*;
 use decoding_divide::stats::median;
 
 fn main() {

@@ -8,8 +8,7 @@
 //! Run with: `cargo run --release --example policy_lab [-- "City"]`
 
 use decoding_divide::analysis::{evaluate_intervention, Intervention};
-use decoding_divide::census::city_by_name;
-use decoding_divide::dataset::{curate_city, CurationOptions};
+use decoding_divide::prelude::*;
 
 fn main() {
     let name = std::env::args()

@@ -6,11 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use decoding_divide::bat::{templates, BatServer};
-use decoding_divide::bqt::{query_address, BqtConfig, QueryJob, QueryOutcome};
-use decoding_divide::census::city_by_name;
-use decoding_divide::isp::CityWorld;
-use decoding_divide::net::{Endpoint, SimDuration, SimIp, SimTime, Transport};
+use decoding_divide::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;

@@ -8,11 +8,7 @@
 //!
 //! Run with: `cargo run --release --example scaling_containers`
 
-use decoding_divide::bat::{templates, BatServer};
-use decoding_divide::bqt::{BqtConfig, Orchestrator, QueryJob};
-use decoding_divide::census::city_by_name;
-use decoding_divide::isp::{CityWorld, Isp};
-use decoding_divide::net::{Endpoint, IpPool, RotationPolicy, SimDuration, Transport};
+use decoding_divide::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -47,11 +43,12 @@ fn main() {
         let net = server.profile().network_latency;
         transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
         let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, 9);
-        let orch = Orchestrator {
-            n_workers: workers,
-            ..Orchestrator::paper_default(9)
-        };
-        let report = orch.run(&mut transport, &config, &jobs, &mut pool);
+        let report = Campaign::new(9)
+            .workers(workers)
+            .config(config)
+            .run(&mut transport, &jobs, &mut pool)
+            .expect("journal-less runs cannot hit journal errors")
+            .report();
         println!(
             "{:>10} {:>18.1} {:>9.1}% {:>14.2} {:>9}",
             workers,
@@ -68,12 +65,13 @@ fn main() {
     let net = server.profile().network_latency;
     transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
     let mut pool = IpPool::residential(1, RotationPolicy::RoundRobin, 9);
-    let orch = Orchestrator {
-        n_workers: 200,
-        politeness: SimDuration::from_secs(1),
-        ..Orchestrator::paper_default(9)
-    };
-    let report = orch.run(&mut transport, &config, &jobs, &mut pool);
+    let report = Campaign::new(9)
+        .workers(200)
+        .politeness(SimDuration::from_secs(1))
+        .config(config)
+        .run(&mut transport, &jobs, &mut pool)
+        .expect("journal-less runs cannot hit journal errors")
+        .report();
     println!(
         "hit rate {:.1}%, {} queries blocked by the per-IP rate limiter",
         100.0 * report.metrics.hit_rate(),

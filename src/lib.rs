@@ -9,3 +9,17 @@ pub use bbsim_isp as isp;
 pub use bbsim_net as net;
 pub use bbsim_stats as stats;
 pub use bqt;
+
+/// Everything a campaign-driving example needs in one import.
+///
+/// Re-exports [`bqt::prelude`] (campaign building, configuration, journal,
+/// telemetry and the virtual network) plus the world-building names the
+/// examples pair it with: the simulated BAT servers, study-city lookup and
+/// the dataset curation entry points.
+pub mod prelude {
+    pub use bbsim_bat::{templates, BatServer};
+    pub use bbsim_census::{city_by_name, ALL_CITIES};
+    pub use bbsim_dataset::{aggregate_block_groups, curate_city, CurationOptions};
+    pub use bbsim_isp::{CityWorld, Isp};
+    pub use bqt::prelude::*;
+}

@@ -7,7 +7,7 @@
 //! address still produces exactly one record either way.
 
 use decoding_divide::bat::{templates, BatServer};
-use decoding_divide::bqt::{BqtConfig, Orchestrator, OrchestratorReport, QueryJob};
+use decoding_divide::bqt::{BqtConfig, Campaign, Orchestrator, OrchestratorReport, QueryJob};
 use decoding_divide::census::city_by_name;
 use decoding_divide::isp::{CityWorld, Isp};
 use decoding_divide::net::{
@@ -67,7 +67,11 @@ fn run(plan: Option<FaultPlan>, retries: bool, seed: u64) -> OrchestratorReport 
         ..Orchestrator::paper_default(seed)
     };
     let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, seed);
-    let report = orch.run(&mut t, &config(), &jobs, &mut pool);
+    let report = Campaign::from_orchestrator(orch)
+        .config(config())
+        .run(&mut t, &jobs, &mut pool)
+        .expect("journal-less runs cannot hit journal errors")
+        .report();
 
     // Exactly-once is unconditional: retries must never duplicate or drop
     // an address.

@@ -285,7 +285,7 @@ proptest! {
     #[test]
     fn retry_attempts_never_exceed_the_budget(seed in any::<u64>(), max_attempts in 1u32..=5) {
         use decoding_divide::bat::{templates, BatServer};
-        use decoding_divide::bqt::{BqtConfig, Orchestrator, QueryJob, RetryPolicy};
+        use decoding_divide::bqt::{BqtConfig, Campaign, Orchestrator, QueryJob, RetryPolicy};
         use decoding_divide::census::city_by_name;
         use decoding_divide::isp::{CityWorld, Isp};
         use decoding_divide::net::{
@@ -329,7 +329,11 @@ proptest! {
             ..Orchestrator::paper_default(seed)
         };
         let mut pool = IpPool::residential(8, RotationPolicy::RoundRobin, seed);
-        let report = orch.run(&mut t, &BqtConfig::paper_default(SimDuration::from_secs(45)), &jobs, &mut pool);
+        let report = Campaign::from_orchestrator(orch)
+            .config(BqtConfig::paper_default(SimDuration::from_secs(45)))
+            .run(&mut t, &jobs, &mut pool)
+            .expect("journal-less runs cannot hit journal errors")
+            .report();
 
         prop_assert_eq!(report.records.len(), jobs.len());
         prop_assert_eq!(report.dead_letters.len(), jobs.len());
@@ -340,6 +344,126 @@ proptest! {
             report.metrics.retries,
             (max_attempts as u64 - 1) * jobs.len() as u64
         );
+    }
+}
+
+proptest! {
+    // Each case drives a real traced campaign; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Telemetry's span discipline: under any seed, worker count and fault
+    /// rate, every span-opening event (campaign, worker, job, attempt,
+    /// page fetch) is closed exactly once, never reopened, and never ends
+    /// before it begins on the virtual clock.
+    #[test]
+    fn every_span_begin_has_exactly_one_end(
+        seed in any::<u64>(),
+        workers in 1usize..=8,
+        flake in 0u32..=5,
+    ) {
+        use decoding_divide::bat::{templates, BatServer};
+        use decoding_divide::bqt::{
+            BqtConfig, Campaign, EventKind, Orchestrator, QueryJob, RetryPolicy, RingRecorder,
+        };
+        use decoding_divide::census::city_by_name;
+        use decoding_divide::isp::{CityWorld, Isp};
+        use decoding_divide::net::{
+            Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, SimTime, Transport,
+        };
+        use std::collections::{HashMap, HashSet};
+        use std::sync::{Arc, OnceLock};
+
+        static WORLD: OnceLock<Arc<CityWorld>> = OnceLock::new();
+        let world = WORLD
+            .get_or_init(|| Arc::new(CityWorld::build(city_by_name("Billings").unwrap())))
+            .clone();
+
+        let mut t = Transport::hermetic(seed);
+        let server = BatServer::new(Isp::CenturyLink, world.clone());
+        let net = server.profile().network_latency;
+        t.register("centurylink/billings", Endpoint::new(Box::new(server), net));
+        if flake > 0 {
+            let horizon = SimTime::ZERO + SimDuration::from_secs(1_000_000);
+            t.set_fault_plan(
+                FaultPlan::new(seed)
+                    .flaky_endpoint("centurylink/billings", SimTime::ZERO, horizon, flake as f64 / 10.0)
+                    .hermetic(),
+            );
+        }
+        let jobs: Vec<QueryJob> = world
+            .addresses()
+            .records()
+            .iter()
+            .take(12)
+            .map(|r| QueryJob {
+                endpoint: "centurylink/billings".to_string(),
+                dialect: templates::dialect_of(Isp::CenturyLink),
+                input_line: r.listing_line.clone(),
+                tag: r.id as u64,
+            })
+            .collect();
+
+        let orch = Orchestrator {
+            n_workers: workers,
+            seed,
+            retry: Some(RetryPolicy::paper_default(seed)),
+            ..Orchestrator::paper_default(seed)
+        };
+        let mut pool = IpPool::residential(16, RotationPolicy::RoundRobin, seed);
+        let mut ring = RingRecorder::new(1_000_000);
+        let report = Campaign::from_orchestrator(orch)
+            .config(BqtConfig::paper_default(SimDuration::from_secs(45)))
+            .recorder(&mut ring)
+            .run(&mut t, &jobs, &mut pool)
+            .expect("journal-less runs cannot hit journal errors")
+            .report();
+        prop_assert_eq!(report.records.len(), jobs.len());
+
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        enum Key {
+            Campaign,
+            Worker(u32),
+            Job(u64),
+            Attempt(u64, u32),
+            Fetch(u64, u32, u32),
+        }
+        let mut open: HashMap<Key, SimTime> = HashMap::new();
+        let mut closed: HashSet<Key> = HashSet::new();
+        for e in ring.events() {
+            let (key, is_begin) = match e.kind {
+                EventKind::CampaignBegin { .. } => (Key::Campaign, true),
+                EventKind::CampaignEnd { .. } => (Key::Campaign, false),
+                EventKind::WorkerBegin { worker } => (Key::Worker(worker), true),
+                EventKind::WorkerEnd { worker } => (Key::Worker(worker), false),
+                EventKind::JobBegin { tag, .. } => (Key::Job(tag), true),
+                EventKind::JobEnd { tag, .. } => (Key::Job(tag), false),
+                EventKind::AttemptBegin { tag, attempt, .. } => (Key::Attempt(tag, attempt), true),
+                EventKind::AttemptEnd { tag, attempt, .. } => (Key::Attempt(tag, attempt), false),
+                EventKind::PageFetchBegin { tag, attempt, fetch } => {
+                    (Key::Fetch(tag, attempt, fetch), true)
+                }
+                EventKind::PageFetchEnd { tag, attempt, fetch, .. } => {
+                    (Key::Fetch(tag, attempt, fetch), false)
+                }
+                _ => continue,
+            };
+            if is_begin {
+                prop_assert!(!closed.contains(&key), "span reopened: {key:?}");
+                prop_assert!(open.insert(key, e.at).is_none(), "double begin: {key:?}");
+            } else {
+                let begun = open.remove(&key);
+                prop_assert!(begun.is_some(), "end without begin: {key:?}");
+                prop_assert!(
+                    e.at >= begun.unwrap(),
+                    "span {key:?} ends at {:?}, before its begin at {:?}",
+                    e.at,
+                    begun.unwrap()
+                );
+                prop_assert!(closed.insert(key), "double end: {key:?}");
+            }
+        }
+        prop_assert!(open.is_empty(), "unclosed spans: {:?}", open.keys());
+        prop_assert!(closed.contains(&Key::Campaign), "the campaign span closed");
     }
 }
 

@@ -9,8 +9,8 @@
 
 use decoding_divide::bat::{templates, BatServer};
 use decoding_divide::bqt::{
-    BqtConfig, Journal, JournalError, Orchestrator, OrchestratorReport, QueryJob, QueryOutcome,
-    RetryPolicy, ShedPolicy,
+    BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, Orchestrator, OrchestratorReport,
+    QueryJob, QueryOutcome, RetryPolicy, ShedPolicy,
 };
 use decoding_divide::census::city_by_name;
 use decoding_divide::isp::{CityWorld, Isp};
@@ -94,9 +94,12 @@ fn baseline(seed: u64) -> (OrchestratorReport, Vec<u8>, u64) {
     let (mut t, jobs) = setup();
     t.set_fault_plan(plan(seed));
     let mut journal = Journal::in_memory();
-    let report = orch(seed)
-        .run_journaled(&mut t, &config(), &jobs, &mut pool(seed), &mut journal)
-        .unwrap();
+    let report = Campaign::from_orchestrator(orch(seed))
+        .config(config())
+        .journal(&mut journal)
+        .run(&mut t, &jobs, &mut pool(seed))
+        .unwrap()
+        .report();
     let bytes = journal.bytes().unwrap().to_vec();
     (report, bytes, t.requests_sent())
 }
@@ -112,7 +115,7 @@ fn assert_reports_identical(a: &OrchestratorReport, b: &OrchestratorReport) {
 fn resume_is_byte_identical_at_arbitrary_crash_points() {
     let seed = 41 ^ chaos_seed().rotate_left(24);
     let (truth, _, full_requests) = baseline(seed);
-    assert!(truth.resume.replayed_attempts == 0 && truth.resume.live_attempts > 0);
+    assert!(truth.resume().replayed_attempts == 0 && truth.resume().live_attempts > 0);
 
     // Crash the campaign at five spread-out virtual times, including one
     // almost immediately and one near the finish line.
@@ -123,18 +126,14 @@ fn resume_is_byte_identical_at_arbitrary_crash_points() {
         let (mut t1, jobs) = setup();
         t1.set_fault_plan(plan(seed));
         let mut journal = Journal::in_memory();
-        let crashed = orch(seed)
-            .run_journaled_with_crash(
-                &mut t1,
-                &config(),
-                &jobs,
-                &mut pool(seed),
-                &mut journal,
-                crash_at,
-            )
+        let crashed = Campaign::from_orchestrator(orch(seed))
+            .config(config())
+            .journal(&mut journal)
+            .crash_at(crash_at)
+            .run(&mut t1, &jobs, &mut pool(seed))
             .unwrap();
         assert!(
-            crashed.is_none(),
+            crashed.crashed(),
             "crash point {i} landed before the finish"
         );
         let crash_requests = t1.requests_sent();
@@ -146,18 +145,22 @@ fn resume_is_byte_identical_at_arbitrary_crash_points() {
 
         let (mut t2, jobs) = setup();
         t2.set_fault_plan(plan(seed));
-        let resumed = orch(seed)
-            .run_journaled(&mut t2, &config(), &jobs, &mut pool(seed), &mut journal)
-            .unwrap();
+        let resumed = Campaign::from_orchestrator(orch(seed))
+            .config(config())
+            .journal(&mut journal)
+            .run(&mut t2, &jobs, &mut pool(seed))
+            .unwrap()
+            .report();
 
         assert_reports_identical(&truth, &resumed);
         assert_eq!(
-            resumed.resume.replayed_attempts, journaled,
+            resumed.resume().replayed_attempts,
+            journaled,
             "every journaled attempt replays, none re-scrape (crash {i})"
         );
         assert_eq!(
-            resumed.resume.replayed_attempts + resumed.resume.live_attempts,
-            truth.resume.live_attempts,
+            resumed.resume().replayed_attempts + resumed.resume().live_attempts,
+            truth.resume().live_attempts,
             "replay + live covers the campaign exactly once (crash {i})"
         );
         if journaled > 0 {
@@ -181,12 +184,15 @@ fn complete_journal_resumes_with_zero_scrapes() {
     let mut journal = Journal::from_bytes(&bytes).unwrap();
     let (mut t, jobs) = setup();
     t.set_fault_plan(plan(seed));
-    let resumed = orch(seed)
-        .run_journaled(&mut t, &config(), &jobs, &mut pool(seed), &mut journal)
-        .unwrap();
+    let resumed = Campaign::from_orchestrator(orch(seed))
+        .config(config())
+        .journal(&mut journal)
+        .run(&mut t, &jobs, &mut pool(seed))
+        .unwrap()
+        .report();
 
     assert_reports_identical(&truth, &resumed);
-    assert_eq!(resumed.resume.live_attempts, 0, "nothing left to scrape");
+    assert_eq!(resumed.resume().live_attempts, 0, "nothing left to scrape");
     assert_eq!(t.requests_sent(), 0, "the network is never touched");
 }
 
@@ -198,18 +204,15 @@ fn crash_after_the_finish_line_returns_the_full_report() {
     let (mut t, jobs) = setup();
     t.set_fault_plan(plan(seed));
     let mut journal = Journal::in_memory();
-    let report = orch(seed)
-        .run_journaled_with_crash(
-            &mut t,
-            &config(),
-            &jobs,
-            &mut pool(seed),
-            &mut journal,
-            // The last queue event is the final worker's cooldown at
-            // makespan + politeness; crash comfortably past it.
-            truth.makespan + SimDuration::from_secs(60),
-        )
+    let report = Campaign::from_orchestrator(orch(seed))
+        .config(config())
+        .journal(&mut journal)
+        // The last queue event is the final worker's cooldown at
+        // makespan + politeness; crash comfortably past it.
+        .crash_at(truth.makespan + SimDuration::from_secs(60))
+        .run(&mut t, &jobs, &mut pool(seed))
         .unwrap()
+        .completed()
         .expect("crash after completion is a no-op");
     assert_reports_identical(&truth, &report);
 }
@@ -224,8 +227,10 @@ fn foreign_journal_is_refused_not_replayed() {
     let mut journal = Journal::from_bytes(&bytes).unwrap();
     let (mut t, jobs) = setup();
     t.set_fault_plan(plan(other));
-    let err = orch(other)
-        .run_journaled(&mut t, &config(), &jobs, &mut pool(other), &mut journal)
+    let err = Campaign::from_orchestrator(orch(other))
+        .config(config())
+        .journal(&mut journal)
+        .run(&mut t, &jobs, &mut pool(other))
         .unwrap_err();
     assert!(
         matches!(err, JournalError::ManifestMismatch { .. }),
@@ -250,17 +255,21 @@ fn watchdog_reclaims_every_hung_job_without_deadlock() {
         ..orch(seed)
     };
     // The run returning at all proves no worker wedged permanently.
-    let report = o.run(&mut t, &config(), &jobs, &mut pool(seed));
+    let report = Campaign::from_orchestrator(o.clone())
+        .config(config())
+        .run(&mut t, &jobs, &mut pool(seed))
+        .unwrap()
+        .report();
 
     assert_eq!(report.records.len(), jobs.len(), "every address reported");
     assert!(
-        report.metrics.stalls_reclaimed > 0,
+        report.stalls_reclaimed() > 0,
         "the stall window was hit: {:?}",
         report.metrics
     );
     // Most reclaimed attempts are retried to success, so only a subset
     // survive as final Stalled records.
-    assert!(report.metrics.stalls_reclaimed >= report.metrics.stalled);
+    assert!(report.stalls_reclaimed() >= report.metrics.stalled);
     // A reclaimed worker is charged the full deadline, never less.
     for rec in report
         .records
@@ -294,33 +303,35 @@ fn journaled_watchdog_campaign_still_resumes_identically() {
     let (mut t, jobs) = setup();
     t.set_fault_plan(stall_plan());
     let mut journal = Journal::in_memory();
-    let truth = o
-        .run_journaled(&mut t, &config(), &jobs, &mut pool(seed), &mut journal)
-        .unwrap();
-    assert!(truth.metrics.stalls_reclaimed > 0, "{:?}", truth.metrics);
+    let truth = Campaign::from_orchestrator(o.clone())
+        .config(config())
+        .journal(&mut journal)
+        .run(&mut t, &jobs, &mut pool(seed))
+        .unwrap()
+        .report();
+    assert!(truth.stalls_reclaimed() > 0, "{:?}", truth.metrics);
 
     let crash_at = SimTime::from_millis(truth.makespan.as_millis() / 3);
     let (mut t1, jobs) = setup();
     t1.set_fault_plan(stall_plan());
     let mut journal = Journal::in_memory();
-    assert!(o
-        .run_journaled_with_crash(
-            &mut t1,
-            &config(),
-            &jobs,
-            &mut pool(seed),
-            &mut journal,
-            crash_at
-        )
+    assert!(Campaign::from_orchestrator(o.clone())
+        .config(config())
+        .journal(&mut journal)
+        .crash_at(crash_at)
+        .run(&mut t1, &jobs, &mut pool(seed))
         .unwrap()
-        .is_none());
+        .crashed());
 
     let mut journal = Journal::from_bytes(journal.bytes().unwrap()).unwrap();
     let (mut t2, jobs) = setup();
     t2.set_fault_plan(stall_plan());
-    let resumed = o
-        .run_journaled(&mut t2, &config(), &jobs, &mut pool(seed), &mut journal)
-        .unwrap();
+    let resumed = Campaign::from_orchestrator(o.clone())
+        .config(config())
+        .journal(&mut journal)
+        .run(&mut t2, &jobs, &mut pool(seed))
+        .unwrap()
+        .report();
     assert_reports_identical(&truth, &resumed);
 }
 
@@ -351,7 +362,11 @@ fn load_shedding_strictly_reduces_dead_letters_under_a_storm() {
             retry: Some(policy),
             ..orch(seed)
         };
-        o.run(&mut t, &config(), &jobs, &mut pool(seed))
+        Campaign::from_orchestrator(o)
+            .config(config())
+            .run(&mut t, &jobs, &mut pool(seed))
+            .unwrap()
+            .report()
     };
 
     let unshed = run(None);
@@ -368,7 +383,7 @@ fn load_shedding_strictly_reduces_dead_letters_under_a_storm() {
         shed.metrics.dead_lettered,
         unshed.metrics.dead_lettered
     );
-    assert!(shed.metrics.shed_events > 0, "the controller actually cut");
+    assert!(shed.shed_events() > 0, "the controller actually cut");
 
     // The concurrency timeline shows the dip and a recovery (late
     // stragglers may cut it again at the tail, so look for any raise,
@@ -383,4 +398,65 @@ fn load_shedding_strictly_reduces_dead_letters_under_a_storm() {
     );
     // Exactly-once still holds under shedding.
     assert_eq!(shed.records.len(), unshed.records.len());
+}
+
+#[test]
+fn resumed_event_log_is_byte_identical_to_the_uninterrupted_runs() {
+    let seed = 48 ^ chaos_seed().rotate_left(24);
+
+    // Ground truth: one uninterrupted journaled run, stable event log
+    // captured as canonical JSONL.
+    let (mut t0, jobs) = setup();
+    t0.set_fault_plan(plan(seed));
+    let mut journal = Journal::in_memory();
+    let mut full_log = JsonlRecorder::stable(Vec::new());
+    let truth = Campaign::from_orchestrator(orch(seed))
+        .config(config())
+        .journal(&mut journal)
+        .recorder(&mut full_log)
+        .run(&mut t0, &jobs, &mut pool(seed))
+        .unwrap()
+        .report();
+    let full = String::from_utf8(full_log.into_inner()).unwrap();
+    assert!(!full.is_empty(), "the uninterrupted run traced events");
+
+    // Crash mid-campaign; only the journal bytes survive the reboot.
+    let crash_at = SimTime::from_millis(truth.makespan.as_millis() * 2 / 5);
+    let (mut t1, jobs) = setup();
+    t1.set_fault_plan(plan(seed));
+    let mut journal = Journal::in_memory();
+    assert!(Campaign::from_orchestrator(orch(seed))
+        .config(config())
+        .journal(&mut journal)
+        .crash_at(crash_at)
+        .run(&mut t1, &jobs, &mut pool(seed))
+        .unwrap()
+        .crashed());
+    let mut journal = Journal::from_bytes(journal.bytes().unwrap()).unwrap();
+    assert!(!journal.attempts().is_empty(), "the crash left work behind");
+
+    // Resume and trace again: replayed attempts re-emit their spans from
+    // the journal, live attempts emit them from execution, and the stable
+    // stream cannot tell the difference.
+    let (mut t2, jobs) = setup();
+    t2.set_fault_plan(plan(seed));
+    let mut resumed_log = JsonlRecorder::stable(Vec::new());
+    let resumed = Campaign::from_orchestrator(orch(seed))
+        .config(config())
+        .journal(&mut journal)
+        .recorder(&mut resumed_log)
+        .run(&mut t2, &jobs, &mut pool(seed))
+        .unwrap()
+        .report();
+    assert_reports_identical(&truth, &resumed);
+    assert!(
+        resumed.resume().replayed_attempts > 0,
+        "the journal replayed"
+    );
+
+    let replayed = String::from_utf8(resumed_log.into_inner()).unwrap();
+    assert_eq!(
+        full, replayed,
+        "the stable event stream retraces byte-for-byte across a crash"
+    );
 }
