@@ -9,7 +9,7 @@
 //!   table1 table2 table3
 //!   fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b
 //!   scaling strawman ablation-matcher ablation-wait ablation-sampling
-//!   staleness audit drift chaos resume trace tier-flattening
+//!   staleness audit drift chaos resume trace health tier-flattening
 //!   markup-baseline upload-consistency robustness policy release
 //! ```
 //!
@@ -36,7 +36,7 @@ fn usage() -> ! {
         "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
          experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
          scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
-         staleness audit drift chaos resume trace tier-flattening markup-baseline upload-consistency robustness policy"
+         staleness audit drift chaos resume trace health tier-flattening markup-baseline upload-consistency robustness policy"
     );
     std::process::exit(2);
 }
@@ -103,6 +103,7 @@ fn main() {
             | "chaos"
             | "resume"
             | "trace"
+            | "health"
     );
 
     let study = if needs_study {
@@ -151,6 +152,7 @@ fn main() {
         "chaos" => ext::chaos(args.seed),
         "resume" => ext::resume(args.seed),
         "trace" => ext::trace(args.seed),
+        "health" => ext::health(args.seed),
         "tier-flattening" => ext::tier_flattening_report(study.expect("study")),
         "markup-baseline" => ext::markup_baseline(study.expect("study")),
         "upload-consistency" => ext::upload_consistency_report(study.expect("study")),

@@ -29,6 +29,7 @@
 use crate::client::BqtConfig;
 use crate::driver::QueryJob;
 use crate::journal::{CampaignManifest, Journal, JournalError};
+use crate::monitor::{CampaignMonitor, MonitorPolicy};
 use crate::orchestrator::{Orchestrator, OrchestratorReport};
 use crate::retry::RetryPolicy;
 use crate::shed::ShedPolicy;
@@ -42,6 +43,7 @@ pub struct Campaign<'a> {
     journal: Option<&'a mut Journal>,
     crash_at: Option<SimTime>,
     recorders: Vec<&'a mut dyn Recorder>,
+    monitor: Option<MonitorPolicy>,
 }
 
 impl<'a> Campaign<'a> {
@@ -60,6 +62,7 @@ impl<'a> Campaign<'a> {
             journal: None,
             crash_at: None,
             recorders: Vec::new(),
+            monitor: None,
         }
     }
 
@@ -125,6 +128,16 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Attaches the live health monitor: sliding-window aggregation, SLO
+    /// alerting (with optional load-shed escalation) and the phase
+    /// profiler. The monitor's [`HealthReport`](crate::monitor::HealthReport)
+    /// lands in `OrchestratorReport::health`, and its `AlertFired` /
+    /// `AlertResolved` events reach every attached recorder.
+    pub fn monitor(mut self, policy: MonitorPolicy) -> Self {
+        self.monitor = Some(policy);
+        self
+    }
+
     /// The campaign identity a journaled run of `jobs` would bind.
     pub fn manifest(&self, jobs: &[QueryJob]) -> CampaignManifest {
         self.orch.manifest(&self.config, jobs)
@@ -154,11 +167,15 @@ impl<'a> Campaign<'a> {
             mut journal,
             crash_at,
             recorders,
+            monitor,
         } = self;
         if let Some(j) = journal.as_deref_mut() {
             j.bind_manifest(orch.manifest(&config, jobs))?;
         }
         let mut tel = Telemetry::new();
+        if let Some(policy) = monitor {
+            tel.set_monitor(CampaignMonitor::new(policy));
+        }
         for r in recorders {
             tel.attach(r);
         }

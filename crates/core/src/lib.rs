@@ -28,6 +28,9 @@
 //! * [`campaign`] — the [`Campaign`] builder, the one entry point that
 //!   composes orchestration, journaling, simulated crashes and telemetry
 //!   recorders into a run;
+//! * [`monitor`] — live campaign health over the telemetry stream:
+//!   sliding-window aggregation, SLO alerting with hysteresis, Prometheus
+//!   text exposition and a virtual-clock phase profiler;
 //! * [`telemetry`] — structured event tracing on the virtual clock: a
 //!   [`Recorder`](telemetry::Recorder) fan-out fed by the orchestrator and
 //!   driver, with ring-buffer, JSONL and aggregating recorders;
@@ -41,6 +44,7 @@ pub mod drift;
 pub mod driver;
 pub mod journal;
 pub mod metrics;
+pub mod monitor;
 pub mod orchestrator;
 pub mod retry;
 pub mod scrape;
@@ -54,6 +58,10 @@ pub use drift::DriftMonitor;
 pub use driver::{query_address, query_address_traced, QueryJob, QueryOutcome, QueryRecord};
 pub use journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
 pub use metrics::{HitRateReport, Metrics};
+pub use monitor::{
+    render_folded, render_prometheus, Alert, CampaignSection, HealthReport, MonitorPolicy, SloRule,
+    SloSignal, WindowSnapshot,
+};
 pub use orchestrator::{DeadLetter, Orchestrator, OrchestratorReport, ResumeStats};
 pub use retry::{is_retryable, BackoffPolicy, BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use scrape::{DetectedPage, ScrapedPlan, TemplateSet};
@@ -73,6 +81,7 @@ pub mod prelude {
     pub use crate::driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
     pub use crate::journal::{Journal, JournalError};
     pub use crate::metrics::Metrics;
+    pub use crate::monitor::{HealthReport, MonitorPolicy, SloRule, SloSignal};
     pub use crate::orchestrator::{DeadLetter, Orchestrator, OrchestratorReport, ResumeStats};
     pub use crate::retry::RetryPolicy;
     pub use crate::shed::ShedPolicy;

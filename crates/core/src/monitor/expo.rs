@@ -1,0 +1,252 @@
+//! Prometheus-style text exposition of a campaign's health.
+//!
+//! Renders `# TYPE` headers plus name/label/value lines from the run's
+//! counters, gauges and log2 latency histograms. Only replay-stable
+//! families are exposed (no page-fetch or fault-injection counters), so
+//! the exposition of a crashed-and-resumed campaign is byte-identical to
+//! an uninterrupted run's — the property the `health` CI job pins down.
+//! Within one document, families appear in a fixed order and sections
+//! (one per campaign) in caller order; label values are the campaign
+//! label and the endpoint name, which the rest of the system already
+//! keeps deterministic.
+
+use super::HealthReport;
+use crate::telemetry::{Histogram, TelemetrySummary};
+use std::fmt::Write;
+
+/// One campaign's slice of the exposition (and the folded profile).
+pub struct CampaignSection<'a> {
+    /// Label value for the `campaign` dimension (e.g. the ISP slug).
+    pub label: &'a str,
+    pub telemetry: &'a TelemetrySummary,
+    pub health: &'a HealthReport,
+}
+
+fn counter(
+    out: &mut String,
+    name: &str,
+    sections: &[CampaignSection],
+    value: impl Fn(&CampaignSection) -> u64,
+) {
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for s in sections {
+        let _ = writeln!(out, "{name}{{campaign=\"{}\"}} {}", s.label, value(s));
+    }
+}
+
+fn gauge(
+    out: &mut String,
+    name: &str,
+    sections: &[CampaignSection],
+    value: impl Fn(&CampaignSection) -> u64,
+) {
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for s in sections {
+        let _ = writeln!(out, "{name}{{campaign=\"{}\"}} {}", s.label, value(s));
+    }
+}
+
+fn histogram_series(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let mut cum = 0u64;
+    for (i, n) in h.bucket_counts().iter().enumerate() {
+        cum += n;
+        let le = Histogram::bucket_bounds(i).1;
+        let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum_ms());
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+}
+
+fn histogram(
+    out: &mut String,
+    name: &str,
+    sections: &[CampaignSection],
+    select: impl for<'s> Fn(&'s CampaignSection) -> &'s Histogram,
+) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for s in sections {
+        histogram_series(out, name, &format!("campaign=\"{}\"", s.label), select(s));
+    }
+}
+
+/// Renders the full exposition document for one or more campaigns.
+pub fn render_prometheus(sections: &[CampaignSection]) -> String {
+    let mut out = String::new();
+    counter(&mut out, "bqt_attempts_total", sections, |s| {
+        s.telemetry.attempts
+    });
+    counter(&mut out, "bqt_retries_total", sections, |s| {
+        s.telemetry.retries
+    });
+    counter(&mut out, "bqt_breaker_trips_total", sections, |s| {
+        s.telemetry.breaker_trips
+    });
+    counter(&mut out, "bqt_breaker_defers_total", sections, |s| {
+        s.telemetry.breaker_defers
+    });
+    counter(&mut out, "bqt_shed_cuts_total", sections, |s| {
+        s.telemetry.shed_cuts
+    });
+    counter(&mut out, "bqt_shed_raises_total", sections, |s| {
+        s.telemetry.shed_raises
+    });
+    counter(&mut out, "bqt_stalls_reclaimed_total", sections, |s| {
+        s.telemetry.stalls_reclaimed
+    });
+    counter(&mut out, "bqt_alerts_fired_total", sections, |s| {
+        s.telemetry.alerts_fired
+    });
+    counter(&mut out, "bqt_alerts_resolved_total", sections, |s| {
+        s.telemetry.alerts_resolved
+    });
+    gauge(&mut out, "bqt_makespan_ms", sections, |s| {
+        s.health.makespan_ms
+    });
+    gauge(&mut out, "bqt_workers", sections, |s| {
+        s.health.started_workers as u64
+    });
+
+    let _ = writeln!(&mut out, "# TYPE bqt_endpoint_attempts_total counter");
+    for s in sections {
+        for (endpoint, e) in &s.telemetry.per_endpoint {
+            let _ = writeln!(
+                &mut out,
+                "bqt_endpoint_attempts_total{{campaign=\"{}\",endpoint=\"{endpoint}\"}} {}",
+                s.label, e.attempts
+            );
+        }
+    }
+    let _ = writeln!(&mut out, "# TYPE bqt_endpoint_hits_total counter");
+    for s in sections {
+        for (endpoint, e) in &s.telemetry.per_endpoint {
+            let _ = writeln!(
+                &mut out,
+                "bqt_endpoint_hits_total{{campaign=\"{}\",endpoint=\"{endpoint}\"}} {}",
+                s.label, e.hits
+            );
+        }
+    }
+
+    histogram(&mut out, "bqt_attempt_latency_ms", sections, |s| {
+        &s.telemetry.attempt_latency
+    });
+    histogram(&mut out, "bqt_backoff_delay_ms", sections, |s| {
+        &s.telemetry.backoff_delay
+    });
+    histogram(&mut out, "bqt_pages_per_session", sections, |s| {
+        &s.telemetry.pages_per_session
+    });
+    let _ = writeln!(&mut out, "# TYPE bqt_endpoint_attempt_latency_ms histogram");
+    for s in sections {
+        for (endpoint, e) in &s.telemetry.per_endpoint {
+            histogram_series(
+                &mut out,
+                "bqt_endpoint_attempt_latency_ms",
+                &format!("campaign=\"{}\",endpoint=\"{endpoint}\"", s.label),
+                &e.latency,
+            );
+        }
+    }
+    out
+}
+
+/// Renders the folded-stack profile for one or more campaigns: one
+/// `label;frame;...;frame <virtual_ms>` line per stack.
+pub fn render_folded(sections: &[CampaignSection]) -> String {
+    let mut out = String::new();
+    for s in sections {
+        super::profile::folded_lines(s.label, &s.health.frames, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> TelemetrySummary {
+        let mut t = TelemetrySummary {
+            attempts: 3,
+            ..Default::default()
+        };
+        t.attempt_latency.record(40_000);
+        t.attempt_latency.record(50_000);
+        t.attempt_latency.record(0);
+        t.per_endpoint
+            .entry("isp/city".into())
+            .or_default()
+            .attempts = 3;
+        t
+    }
+
+    fn health() -> HealthReport {
+        let mut frames = std::collections::BTreeMap::new();
+        frames.insert("worker_0000;idle".to_string(), 10_000);
+        HealthReport {
+            alerts: Vec::new(),
+            window: Default::default(),
+            checkpoints: Vec::new(),
+            frames,
+            makespan_ms: 100_000,
+            started_workers: 8,
+            escalations: 0,
+        }
+    }
+
+    #[test]
+    fn exposition_has_typed_families_and_cumulative_buckets() {
+        let (t, h) = (summary(), health());
+        let text = render_prometheus(&[CampaignSection {
+            label: "billings",
+            telemetry: &t,
+            health: &h,
+        }]);
+        assert!(text.contains("# TYPE bqt_attempts_total counter\n"));
+        assert!(text.contains("bqt_attempts_total{campaign=\"billings\"} 3\n"));
+        assert!(text.contains("bqt_makespan_ms{campaign=\"billings\"} 100000\n"));
+        assert!(text.contains("bqt_attempt_latency_ms_bucket{campaign=\"billings\",le=\"0\"} 1\n"));
+        assert!(
+            text.contains("bqt_attempt_latency_ms_bucket{campaign=\"billings\",le=\"+Inf\"} 3\n")
+        );
+        assert!(text.contains("bqt_attempt_latency_ms_sum{campaign=\"billings\"} 90000\n"));
+        // le bounds are cumulative: the bucket holding 40k and 50k (2^15..2^16)
+        // reports all three samples.
+        assert!(text.contains(",le=\"65535\"} 3\n"));
+        assert!(text.contains(
+            "bqt_endpoint_attempts_total{campaign=\"billings\",endpoint=\"isp/city\"} 3\n"
+        ));
+    }
+
+    #[test]
+    fn sections_render_in_caller_order_under_one_type_header() {
+        let (t, h) = (summary(), health());
+        let a = CampaignSection {
+            label: "a",
+            telemetry: &t,
+            health: &h,
+        };
+        let b = CampaignSection {
+            label: "b",
+            telemetry: &t,
+            health: &h,
+        };
+        let text = render_prometheus(&[a, b]);
+        let header = text.find("# TYPE bqt_attempts_total").unwrap();
+        let la = text.find("bqt_attempts_total{campaign=\"a\"}").unwrap();
+        let lb = text.find("bqt_attempts_total{campaign=\"b\"}").unwrap();
+        assert!(header < la && la < lb);
+        assert_eq!(text.matches("# TYPE bqt_attempts_total counter").count(), 1);
+    }
+
+    #[test]
+    fn folded_render_prefixes_the_campaign_label() {
+        let (t, h) = (summary(), health());
+        let text = render_folded(&[CampaignSection {
+            label: "billings",
+            telemetry: &t,
+            health: &h,
+        }]);
+        assert_eq!(text, "billings;worker_0000;idle 10000\n");
+    }
+}

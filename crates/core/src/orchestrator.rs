@@ -14,7 +14,7 @@
 //!
 //! On top of the original event loop sit three robustness mechanisms:
 //!
-//! * **Write-ahead journaling + resume** ([`Orchestrator::run_journaled`])
+//! * **Write-ahead journaling + resume** ([`Campaign::journal`](crate::campaign::Campaign::journal))
 //!   — every finished attempt is appended to a [`Journal`] before being
 //!   folded into the report. A campaign killed mid-run resumes by
 //!   replaying journaled attempts instead of re-scraping them; with a
@@ -32,11 +32,11 @@
 //!   pool multiplicatively when a BAT pushes back, recovering additively
 //!   once the storm passes; parked workers wake as the ceiling rises.
 
-use crate::campaign::Campaign;
 use crate::client::BqtConfig;
 use crate::driver::{query_address_traced, QueryJob, QueryOutcome, QueryRecord};
 use crate::journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
 use crate::metrics::Metrics;
+use crate::monitor::{CampaignSection, HealthReport};
 use crate::retry::{is_retryable, CircuitBreaker, RetryPolicy};
 use crate::shed::{ShedController, ShedDecision, ShedPolicy};
 use crate::telemetry::{EventKind, EventSink, OutcomeCode, Telemetry, TelemetrySummary};
@@ -121,71 +121,6 @@ impl Orchestrator {
             job_digest: CampaignManifest::digest_jobs(jobs),
             n_jobs: jobs.len() as u32,
         }
-    }
-
-    /// Runs all `jobs` to completion and reports the results.
-    ///
-    /// Deprecated shim over the [`Campaign`] builder, kept so existing
-    /// callers keep compiling:
-    /// `Campaign::from_orchestrator(orch).config(cfg).run(..)`.
-    #[deprecated(note = "use the Campaign builder: \
-        Campaign::from_orchestrator(orch).config(cfg).run(transport, jobs, pool)")]
-    pub fn run(
-        &self,
-        transport: &mut Transport,
-        config: &BqtConfig,
-        jobs: &[QueryJob],
-        pool: &mut IpPool,
-    ) -> OrchestratorReport {
-        Campaign::from_orchestrator(self.clone())
-            .config(*config)
-            .run(transport, jobs, pool)
-            .expect("journal-less runs cannot hit journal errors")
-            .report()
-    }
-
-    /// Runs a journaled (crash-recoverable) campaign.
-    ///
-    /// Deprecated shim over the [`Campaign`] builder:
-    /// `Campaign::from_orchestrator(orch).config(cfg).journal(j).run(..)`.
-    #[deprecated(note = "use the Campaign builder: \
-        Campaign::from_orchestrator(orch).config(cfg).journal(journal).run(transport, jobs, pool)")]
-    pub fn run_journaled(
-        &self,
-        transport: &mut Transport,
-        config: &BqtConfig,
-        jobs: &[QueryJob],
-        pool: &mut IpPool,
-        journal: &mut Journal,
-    ) -> Result<OrchestratorReport, JournalError> {
-        Ok(Campaign::from_orchestrator(self.clone())
-            .config(*config)
-            .journal(journal)
-            .run(transport, jobs, pool)?
-            .report())
-    }
-
-    /// [`run_journaled`](Self::run_journaled) with a simulated crash.
-    ///
-    /// Deprecated shim over the [`Campaign`] builder:
-    /// `Campaign::from_orchestrator(orch).config(cfg).journal(j).crash_at(t).run(..)`.
-    #[deprecated(note = "use the Campaign builder: \
-        Campaign::from_orchestrator(orch).config(cfg).journal(journal).crash_at(t).run(transport, jobs, pool)")]
-    pub fn run_journaled_with_crash(
-        &self,
-        transport: &mut Transport,
-        config: &BqtConfig,
-        jobs: &[QueryJob],
-        pool: &mut IpPool,
-        journal: &mut Journal,
-        crash_at: SimTime,
-    ) -> Result<Option<OrchestratorReport>, JournalError> {
-        Ok(Campaign::from_orchestrator(self.clone())
-            .config(*config)
-            .journal(journal)
-            .crash_at(crash_at)
-            .run(transport, jobs, pool)?
-            .completed())
     }
 
     /// The discrete-event loop shared by every way of running a campaign.
@@ -446,6 +381,17 @@ impl Orchestrator {
                     ShedDecision::Hold => {}
                 }
             }
+            // An SLO alert with `escalate` on asks for a cut the organic
+            // trip-rate path hasn't taken yet; the controller still
+            // enforces its own floor and cooldown. Stable events drive the
+            // monitor, so a resumed run retraces these cuts exactly.
+            if tel.take_escalation() {
+                if let Some(ctrl) = shed_ctrl.as_mut() {
+                    if let Some(limit) = ctrl.force_cut(done) {
+                        tel.emit(done, EventKind::ShedCut { limit });
+                    }
+                }
+            }
 
             let mut requeued = false;
             let mut dead_lettered = false;
@@ -520,6 +466,7 @@ impl Orchestrator {
             },
         );
 
+        let health = tel.take_monitor().map(|m| m.finish());
         Ok(Some(OrchestratorReport {
             records,
             metrics,
@@ -527,6 +474,7 @@ impl Orchestrator {
             dead_letters,
             concurrency_timeline: shed_ctrl.map(|c| c.timeline().to_vec()).unwrap_or_default(),
             telemetry: tel.summary(),
+            health,
         }))
     }
 }
@@ -565,6 +513,9 @@ pub struct OrchestratorReport {
     /// per-endpoint and per-worker histograms. The supervision views
     /// below are computed from it.
     pub telemetry: TelemetrySummary,
+    /// The live monitor's final judgement — alerts, window state and the
+    /// folded profile. `None` unless `Campaign::monitor` was attached.
+    pub health: Option<HealthReport>,
 }
 
 impl OrchestratorReport {
@@ -597,11 +548,22 @@ impl OrchestratorReport {
     pub fn stalls_reclaimed(&self) -> u64 {
         self.telemetry.stalls_reclaimed
     }
+
+    /// This report's slice of a metrics exposition / folded profile,
+    /// labelled `label`. `None` unless the campaign was monitored.
+    pub fn health_section<'a>(&'a self, label: &'a str) -> Option<CampaignSection<'a>> {
+        self.health.as_ref().map(|health| CampaignSection {
+            label,
+            telemetry: &self.telemetry,
+            health,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::Campaign;
     use bbsim_bat::{templates, BatServer};
     use bbsim_census::city_by_name;
     use bbsim_isp::{CityWorld, Isp};
@@ -852,61 +814,43 @@ mod tests {
         }
     }
 
-    /// The deprecated `run*` trio must keep compiling and must stay
-    /// behavior-identical to the builder it delegates to.
+    /// The legacy `run`/`run_journaled`/`run_journaled_with_crash` shims
+    /// are gone; the builder is the single entry point and carries their
+    /// contracts: a plain run is deterministic (what the old shim-parity
+    /// test really pinned down), and an early crash loses the report.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shims_match_the_builder() {
+    fn campaign_builder_subsumes_the_legacy_run_contracts() {
         let orch = Orchestrator {
             n_workers: 16,
             ..Orchestrator::with_retries(7)
         };
 
-        let (mut t1, jobs1) = setup_with(Transport::hermetic(11));
-        let mut pool1 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
-        let legacy = orch.run(&mut t1, &config(), &jobs1, &mut pool1);
-        let (mut t2, jobs2) = setup_with(Transport::hermetic(11));
-        let mut pool2 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
-        let built = Campaign::from_orchestrator(orch.clone())
-            .config(config())
-            .run(&mut t2, &jobs2, &mut pool2)
-            .unwrap()
-            .report();
-        assert_eq!(legacy.records, built.records);
-        assert_eq!(legacy.metrics, built.metrics);
-        assert_eq!(legacy.makespan, built.makespan);
+        let run_plain = || {
+            let (mut t, jobs) = setup_with(Transport::hermetic(11));
+            let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+            Campaign::from_orchestrator(orch.clone())
+                .config(config())
+                .run(&mut t, &jobs, &mut pool)
+                .unwrap()
+                .report()
+        };
+        let a = run_plain();
+        let b = run_plain();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.makespan, b.makespan);
 
-        let (mut t3, jobs3) = setup_with(Transport::hermetic(11));
-        let mut pool3 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
-        let mut journal_a = Journal::in_memory();
-        let legacy_j = orch
-            .run_journaled(&mut t3, &config(), &jobs3, &mut pool3, &mut journal_a)
-            .unwrap();
-        let (mut t4, jobs4) = setup_with(Transport::hermetic(11));
-        let mut pool4 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
-        let mut journal_b = Journal::in_memory();
-        let built_j = Campaign::from_orchestrator(orch.clone())
+        let (mut t, jobs) = setup_with(Transport::hermetic(11));
+        let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
+        let mut journal = Journal::in_memory();
+        let crashed = Campaign::from_orchestrator(orch)
             .config(config())
-            .journal(&mut journal_b)
-            .run(&mut t4, &jobs4, &mut pool4)
+            .journal(&mut journal)
+            .crash_at(SimTime::from_millis(60_000))
+            .run(&mut t, &jobs, &mut pool)
             .unwrap()
-            .report();
-        assert_eq!(legacy_j.records, built_j.records);
-        assert_eq!(legacy_j.metrics, built_j.metrics);
-
-        let (mut t5, jobs5) = setup_with(Transport::hermetic(11));
-        let mut pool5 = IpPool::residential(64, RotationPolicy::RoundRobin, 1);
-        let mut journal_c = Journal::in_memory();
-        let crashed = orch
-            .run_journaled_with_crash(
-                &mut t5,
-                &config(),
-                &jobs5,
-                &mut pool5,
-                &mut journal_c,
-                SimTime::from_millis(60_000),
-            )
-            .unwrap();
+            .completed();
         assert!(crashed.is_none(), "early crash loses the report");
+        assert!(!journal.attempts().is_empty(), "but not the journal");
     }
 }

@@ -155,6 +155,27 @@ impl ShedController {
         }
         ShedDecision::Hold
     }
+
+    /// A cut demanded from outside the failure-rate path — the monitor's
+    /// SLO escalation. Skips the window test but still honours the floor
+    /// and the cut cooldown (an alert storm must not cascade either).
+    /// Returns the new ceiling when the cut was granted.
+    pub fn force_cut(&mut self, now: SimTime) -> Option<u32> {
+        let cooled = match self.last_cut {
+            None => true,
+            Some(at) => now >= at + self.policy.cooldown,
+        };
+        if !cooled || self.limit <= self.policy.floor {
+            return None;
+        }
+        self.limit = (self.limit / 2).max(self.policy.floor);
+        self.last_cut = Some(now);
+        self.cuts += 1;
+        self.clean_streak = 0;
+        self.window.clear();
+        self.timeline.push((now, self.limit));
+        Some(self.limit)
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +274,18 @@ mod tests {
         assert_eq!(tl[0], (SimTime::ZERO, 8), "starting point recorded");
         assert!(tl.len() >= 3, "cut + raises present: {tl:?}");
         assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "time-ordered");
+    }
+
+    #[test]
+    fn forced_cuts_honour_the_floor_and_the_cooldown() {
+        let mut c = ShedController::new(policy(), 16);
+        assert_eq!(c.force_cut(t(1)), Some(8));
+        assert_eq!(c.force_cut(t(2)), None, "inside the cooldown");
+        assert_eq!(c.force_cut(t(120)), Some(4));
+        assert_eq!(c.force_cut(t(300)), Some(2));
+        assert_eq!(c.force_cut(t(600)), None, "floor holds");
+        assert_eq!(c.cuts(), 3);
+        assert_eq!(c.timeline().last(), Some(&(t(300), 2)));
     }
 
     #[test]

@@ -88,6 +88,24 @@ impl Histogram {
         Some(self.max_ms)
     }
 
+    /// Absorbs another histogram's samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+
+    /// Raw per-bucket counts, ascending from bucket 0 (exact zeros).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// `(lo_ms, hi_ms, count)` for every non-empty bucket, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -166,6 +184,10 @@ pub struct TelemetrySummary {
     pub faults_injected: u64,
     /// Live page fetches (transport round trips) started.
     pub page_fetches: u64,
+    /// Monitor alerts opened (`AlertFired` events).
+    pub alerts_fired: u64,
+    /// Monitor alerts closed (`AlertResolved` events).
+    pub alerts_resolved: u64,
     /// Attempt latency across all endpoints.
     pub attempt_latency: Histogram,
     /// Backoff delay per scheduled retry.
@@ -245,6 +267,8 @@ impl MetricsAggregator {
             EventKind::JournalReplay { .. } => s.replayed_attempts += 1,
             EventKind::FaultInjected { .. } => s.faults_injected += 1,
             EventKind::PageFetchBegin { .. } => s.page_fetches += 1,
+            EventKind::AlertFired { .. } => s.alerts_fired += 1,
+            EventKind::AlertResolved { .. } => s.alerts_resolved += 1,
             _ => {}
         }
     }

@@ -106,6 +106,8 @@ pub fn to_line(event: &Event) -> String {
             w.str("endpoint", endpoint);
             w.str("fault", fault.as_str());
         }
+        EventKind::AlertFired { rule } => w.str("rule", rule),
+        EventKind::AlertResolved { rule } => w.str("rule", rule),
         EventKind::PageFetchBegin {
             tag,
             attempt,
@@ -288,6 +290,12 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
         "fault_injected" => EventKind::FaultInjected {
             endpoint: f.str("endpoint")?,
             fault: f.fault("fault")?,
+        },
+        "alert_fired" => EventKind::AlertFired {
+            rule: f.str("rule")?,
+        },
+        "alert_resolved" => EventKind::AlertResolved {
+            rule: f.str("rule")?,
         },
         "page_fetch_begin" => EventKind::PageFetchBegin {
             tag: f.num("tag")?,
@@ -631,6 +639,18 @@ mod tests {
                 },
             ),
             e(47_000, EventKind::ShedCut { limit: 4 }),
+            e(
+                60_000,
+                EventKind::AlertFired {
+                    rule: "hit_rate".into(),
+                },
+            ),
+            e(
+                84_000,
+                EventKind::AlertResolved {
+                    rule: "hit_rate".into(),
+                },
+            ),
             e(90_000, EventKind::ShedRaise { limit: 5 }),
             e(95_000, EventKind::StallReclaimed { tag: 43, worker: 2 }),
             e(

@@ -49,6 +49,7 @@ pub use jsonl::{JsonlRecorder, ParseError};
 pub use ring::RingRecorder;
 
 use crate::driver::QueryOutcome;
+use crate::monitor::CampaignMonitor;
 use bbsim_net::SimTime;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -215,6 +216,12 @@ pub enum EventKind {
     JournalReplay { tag: u64, attempt: u32 },
     /// The transport injected a fault into a live page fetch. *Ephemeral.*
     FaultInjected { endpoint: String, fault: FaultClass },
+    /// A monitor SLO rule crossed its threshold (with hysteresis) and an
+    /// alert opened. *Ephemeral*: alerts are an observer's judgement, not
+    /// part of the campaign's replayable schedule.
+    AlertFired { rule: String },
+    /// The rule's signal recovered and the alert closed. *Ephemeral.*
+    AlertResolved { rule: String },
     /// A live page fetch (one transport round trip) started. *Ephemeral.*
     PageFetchBegin { tag: u64, attempt: u32, fetch: u32 },
     /// The page fetch finished (including the settle wait). *Ephemeral.*
@@ -241,6 +248,8 @@ impl EventKind {
                 | EventKind::FaultInjected { .. }
                 | EventKind::PageFetchBegin { .. }
                 | EventKind::PageFetchEnd { .. }
+                | EventKind::AlertFired { .. }
+                | EventKind::AlertResolved { .. }
         )
     }
 
@@ -263,6 +272,8 @@ impl EventKind {
             EventKind::StallReclaimed { .. } => "stall_reclaimed",
             EventKind::JournalReplay { .. } => "journal_replay",
             EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::AlertFired { .. } => "alert_fired",
+            EventKind::AlertResolved { .. } => "alert_resolved",
             EventKind::PageFetchBegin { .. } => "page_fetch_begin",
             EventKind::PageFetchEnd { .. } => "page_fetch_end",
         }
@@ -302,8 +313,14 @@ struct Slot<'a> {
 
 /// Fans events out to an always-on [`MetricsAggregator`] plus any attached
 /// external recorders, isolating recorder panics.
+///
+/// A [`CampaignMonitor`] may additionally ride inside the fan-out; unlike
+/// plain recorders it can *synthesize* events ([`EventKind::AlertFired`] /
+/// [`EventKind::AlertResolved`]), which are dispatched to the aggregator
+/// and every external recorder right after the event that triggered them.
 pub struct Telemetry<'a> {
     aggregator: MetricsAggregator,
+    monitor: Option<CampaignMonitor>,
     slots: Vec<Slot<'a>>,
 }
 
@@ -311,6 +328,7 @@ impl<'a> Telemetry<'a> {
     pub fn new() -> Self {
         Self {
             aggregator: MetricsAggregator::new(),
+            monitor: None,
             slots: Vec::new(),
         }
     }
@@ -323,15 +341,46 @@ impl<'a> Telemetry<'a> {
         });
     }
 
+    /// Installs the live monitor for the run.
+    pub fn set_monitor(&mut self, monitor: CampaignMonitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Detaches the monitor (to finalize its health report).
+    pub fn take_monitor(&mut self) -> Option<CampaignMonitor> {
+        self.monitor.take()
+    }
+
+    /// True once if a fired alert asked the load-shedder to cut; clears
+    /// the request.
+    pub fn take_escalation(&mut self) -> bool {
+        self.monitor
+            .as_mut()
+            .map(|m| m.take_escalation())
+            .unwrap_or(false)
+    }
+
     fn dispatch(&mut self, event: Event) {
-        self.aggregator.observe(&event);
+        self.deliver(&event);
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.observe(&event);
+            for alert in monitor.take_events() {
+                // Alerts are ephemeral; the monitor ignores its own output,
+                // so this cannot recurse.
+                self.deliver(&alert);
+            }
+        }
+    }
+
+    fn deliver(&mut self, event: &Event) {
+        self.aggregator.observe(event);
         for slot in &mut self.slots {
             if slot.poisoned {
                 continue;
             }
             // A recorder is an observer; its failure must not rewrite the
             // campaign's outcome. Poison it and move on.
-            if catch_unwind(AssertUnwindSafe(|| slot.recorder.record(&event))).is_err() {
+            if catch_unwind(AssertUnwindSafe(|| slot.recorder.record(event))).is_err() {
                 slot.poisoned = true;
             }
         }

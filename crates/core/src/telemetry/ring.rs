@@ -81,6 +81,47 @@ mod tests {
     }
 
     #[test]
+    fn repeated_wraparound_stays_ordered_and_counts_drops() {
+        let mut ring = RingRecorder::new(4);
+        // Wrap the ring many times over; the window must always hold the
+        // newest `capacity` events in emission order.
+        for w in 0..103u32 {
+            ring.record(&Event {
+                at: SimTime::from_millis(w as u64),
+                kind: EventKind::WorkerBegin { worker: w },
+            });
+            let expect_len = ring.capacity.min(w as usize + 1);
+            assert_eq!(ring.len(), expect_len);
+            let workers: Vec<u32> = ring
+                .events()
+                .map(|e| match e.kind {
+                    EventKind::WorkerBegin { worker } => worker,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let oldest = (w as usize + 1 - expect_len) as u32;
+            assert_eq!(workers, (oldest..=w).collect::<Vec<u32>>());
+        }
+        assert_eq!(ring.seen(), 103);
+        assert_eq!(ring.seen() - ring.len() as u64, 99, "drop count");
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn a_ring_at_exactly_capacity_has_dropped_nothing() {
+        let mut ring = RingRecorder::new(8);
+        for w in 0..8u32 {
+            ring.record(&Event {
+                at: SimTime::from_millis(w as u64),
+                kind: EventKind::WorkerBegin { worker: w },
+            });
+        }
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.seen(), 8);
+        assert_eq!(ring.seen() - ring.len() as u64, 0);
+    }
+
+    #[test]
     fn zero_capacity_is_clamped() {
         let mut ring = RingRecorder::new(0);
         ring.record(&Event {

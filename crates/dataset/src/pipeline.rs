@@ -7,8 +7,9 @@ use bbsim_census::{city_seed, CityProfile};
 use bbsim_isp::{CityWorld, Isp};
 use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, Transport};
 use bqt::{
-    BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, Metrics, Orchestrator, QueryJob,
-    QueryOutcome, ResumeStats, RetryPolicy, ShedPolicy,
+    render_folded, render_prometheus, BqtConfig, Campaign, CampaignSection, HealthReport, Journal,
+    JournalError, JsonlRecorder, Metrics, MonitorPolicy, Orchestrator, QueryJob, QueryOutcome,
+    ResumeStats, RetryPolicy, ShedPolicy, TelemetrySummary,
 };
 use std::collections::HashMap;
 use std::fs::File;
@@ -189,6 +190,9 @@ fn curate_city_inner(
     let mut per_isp_metrics = Vec::new();
     let mut per_isp_pause = Vec::new();
     let mut resume = ResumeStats::default();
+    // Per-ISP `(slug, telemetry, health)` for the campaign directory's
+    // `health.prom` / `profile.folded` artifacts.
+    let mut health_sections: Vec<(String, TelemetrySummary, HealthReport)> = Vec::new();
 
     // One telemetry log per campaign directory, shared by every ISP's
     // campaign. Stable events only: a resume must rewrite the same bytes.
@@ -252,15 +256,26 @@ fn curate_city_inner(
         let report = match journal_dir {
             Some(dir) => {
                 let mut journal = Journal::open(&dir.join(format!("{}.journal", isp.slug())))?;
+                // The monitor's stable profile and exposition stay
+                // byte-identical across resume; `profile_fetches` would
+                // break that, so journaled curation never enables it.
                 let mut campaign = Campaign::from_orchestrator(orch)
                     .config(config)
-                    .journal(&mut journal);
+                    .journal(&mut journal)
+                    .monitor(MonitorPolicy::paper_default());
                 if let Some(log) = event_log.as_mut() {
                     campaign = campaign.recorder(log);
                 }
-                let report = campaign.run(&mut transport, &jobs, &mut pool)?.report();
+                let mut report = campaign.run(&mut transport, &jobs, &mut pool)?.report();
                 resume.replayed_attempts += report.resume().replayed_attempts;
                 resume.live_attempts += report.resume().live_attempts;
+                if let Some(health) = report.health.take() {
+                    health_sections.push((
+                        isp.slug().to_string(),
+                        report.telemetry.clone(),
+                        health,
+                    ));
+                }
                 report
             }
             None => Campaign::from_orchestrator(orch)
@@ -289,6 +304,24 @@ fn curate_city_inner(
             });
         }
         per_isp_metrics.push((isp, report.metrics));
+    }
+
+    // Beside `events.jsonl`, the campaign directory gets the monitor's
+    // exposition and profile — both replay-stable, so a resumed run
+    // rewrites identical bytes.
+    if let Some(dir) = journal_dir {
+        let sections: Vec<CampaignSection> = health_sections
+            .iter()
+            .map(|(slug, telemetry, health)| CampaignSection {
+                label: slug,
+                telemetry,
+                health,
+            })
+            .collect();
+        std::fs::write(dir.join("health.prom"), render_prometheus(&sections))
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        std::fs::write(dir.join("profile.folded"), render_folded(&sections))
+            .map_err(|e| JournalError::Io(e.to_string()))?;
     }
 
     Ok((
@@ -398,6 +431,13 @@ mod tests {
         assert!(r1.live_attempts > 0);
         let log1 = std::fs::read(dir.join("events.jsonl")).unwrap();
         assert!(!log1.is_empty(), "campaign directory gets an event log");
+        let prom1 = std::fs::read_to_string(dir.join("health.prom")).unwrap();
+        assert!(
+            prom1.contains("# TYPE bqt_attempts_total counter"),
+            "exposition present"
+        );
+        let folded1 = std::fs::read_to_string(dir.join("profile.folded")).unwrap();
+        assert!(!folded1.is_empty(), "folded profile present");
 
         // Second run over the same journals: everything replays.
         let (second, r2) = curate_city_journaled(city, &opts, None, &dir).unwrap();
@@ -407,6 +447,10 @@ mod tests {
         assert_eq!(first.per_isp_metrics, second.per_isp_metrics);
         let log2 = std::fs::read(dir.join("events.jsonl")).unwrap();
         assert_eq!(log1, log2, "replayed curation rewrites the same log");
+        let prom2 = std::fs::read_to_string(dir.join("health.prom")).unwrap();
+        assert_eq!(prom1, prom2, "resume rewrites the identical exposition");
+        let folded2 = std::fs::read_to_string(dir.join("profile.folded")).unwrap();
+        assert_eq!(folded1, folded2, "resume rewrites the identical profile");
 
         // A different campaign must refuse the same journals.
         let mut other = opts;

@@ -2,7 +2,8 @@
 //!
 //! This is the paper's core loop in miniature: stand up a city's simulated
 //! ISP availability sites, point BQT at one listing line, and print the
-//! plans (download/upload/price and carriage value) it scrapes.
+//! plans (download/upload/price and carriage value) it scrapes — then run
+//! a small monitored campaign and print its health snapshot.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -59,4 +60,55 @@ fn main() {
         }
         println!();
     }
+
+    // 4. Scale up to a small monitored campaign and read its health.
+    let mut jobs = Vec::new();
+    for record in world.addresses().records().iter().take(25) {
+        for isp in world.isps() {
+            jobs.push(QueryJob {
+                endpoint: isp.slug().to_string(),
+                dialect: templates::dialect_of(isp),
+                input_line: record.listing_line.clone(),
+                tag: ((isp.column() as u64) << 32) | record.id as u64,
+            });
+        }
+    }
+    let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, 7);
+    let report = Campaign::new(7)
+        .workers(4)
+        .config(config)
+        .monitor(MonitorPolicy::paper_default())
+        .run(&mut transport, &jobs, &mut pool)
+        .expect("journal-less runs cannot hit journal errors")
+        .report();
+
+    println!("campaign health ({} queries, 4 workers):", jobs.len());
+    for (endpoint, stats) in &report.telemetry.per_endpoint {
+        println!(
+            "  {:<12} hit rate {:>5.1}%  p99 {:>4.0}s over {} attempts",
+            endpoint,
+            100.0 * stats.hits as f64 / stats.attempts.max(1) as f64,
+            stats.latency.quantile_ms(0.99).unwrap_or(0) as f64 / 1000.0,
+            stats.attempts,
+        );
+    }
+    let health = report.health.expect("campaign ran with a monitor");
+    println!(
+        "  {} alerts fired, {} resolved, {} still open at campaign end",
+        health.alerts_fired(),
+        health.alerts_resolved(),
+        health.alerts_active(),
+    );
+    for alert in &health.alerts {
+        println!("    {} fired at {}", alert.rule, alert.fired_at);
+    }
+    println!(
+        "  campaign {} over {} virtual",
+        if health.healthy() {
+            "healthy"
+        } else {
+            "degraded"
+        },
+        SimDuration::from_millis(health.makespan_ms),
+    );
 }

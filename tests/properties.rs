@@ -467,6 +467,44 @@ proptest! {
     }
 }
 
+proptest! {
+    // ---- telemetry schema codes --------------------------------------
+
+    #[test]
+    fn outcome_codes_roundtrip_through_their_wire_strings(i in 0usize..6) {
+        use decoding_divide::bqt::telemetry::OutcomeCode;
+        const ALL: [OutcomeCode; 6] = [
+            OutcomeCode::Plans,
+            OutcomeCode::NoService,
+            OutcomeCode::Unserviceable,
+            OutcomeCode::Blocked,
+            OutcomeCode::Failed,
+            OutcomeCode::Stalled,
+        ];
+        let code = ALL[i];
+        prop_assert_eq!(OutcomeCode::parse(code.as_str()), Some(code));
+    }
+
+    #[test]
+    fn fault_classes_roundtrip_through_their_wire_strings(i in 0usize..3) {
+        use decoding_divide::bqt::telemetry::FaultClass;
+        const ALL: [FaultClass; 3] = [FaultClass::Timeout, FaultClass::Reset, FaultClass::Stall];
+        let class = ALL[i];
+        prop_assert_eq!(FaultClass::parse(class.as_str()), Some(class));
+    }
+
+    #[test]
+    fn junk_never_parses_as_a_schema_code(s in "[a-z_]{0,16}") {
+        use decoding_divide::bqt::telemetry::{FaultClass, OutcomeCode};
+        const OUTCOMES: [&str; 6] = [
+            "plans", "no_service", "unserviceable", "blocked", "failed", "stalled",
+        ];
+        const FAULTS: [&str; 3] = ["timeout", "reset", "stall"];
+        prop_assert_eq!(OutcomeCode::parse(&s).is_some(), OUTCOMES.contains(&s.as_str()));
+        prop_assert_eq!(FaultClass::parse(&s).is_some(), FAULTS.contains(&s.as_str()));
+    }
+}
+
 // Non-proptest cross-crate invariants that complete the suite.
 
 #[test]
