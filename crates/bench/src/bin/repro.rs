@@ -11,6 +11,7 @@
 //!   scaling strawman ablation-matcher ablation-wait ablation-sampling
 //!   staleness audit drift chaos resume trace health tier-flattening
 //!   markup-baseline upload-consistency robustness policy release
+//!   lint       run divide-lint against the committed baseline
 //! ```
 //!
 //! `--scale quick` (default) runs the full pipeline with ~6 sampled
@@ -36,7 +37,7 @@ fn usage() -> ! {
         "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
          experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
          scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
-         staleness audit drift chaos resume trace health tier-flattening markup-baseline upload-consistency robustness policy"
+         staleness audit drift chaos resume trace health tier-flattening markup-baseline upload-consistency robustness policy lint"
     );
     std::process::exit(2);
 }
@@ -84,8 +85,60 @@ fn parse_args() -> Args {
     args
 }
 
+/// Runs the workspace static analyzer against the committed baseline.
+/// Exits 0 when clean, 1 on regressions or stale entries, 2 on setup
+/// errors — same contract as the standalone `divide-lint` binary.
+fn run_lint() -> ! {
+    use divide_lint::{analyze, baseline::Baseline, discover_root, Config};
+
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let Some(root) = discover_root(here) else {
+        eprintln!("[repro] lint: no workspace root above {}", here.display());
+        std::process::exit(2);
+    };
+    let baseline_path = root.join("lint.baseline");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[repro] lint: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::empty(),
+        Err(e) => {
+            eprintln!("[repro] lint: cannot read {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        }
+    };
+    let outcome = match analyze(&Config::workspace(root)) {
+        Ok(findings) => baseline.judge(findings),
+        Err(e) => {
+            eprintln!("[repro] lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    for f in &outcome.new {
+        println!("{f}");
+    }
+    for e in &outcome.stale {
+        println!("stale baseline entry: {}", e.render());
+    }
+    println!(
+        "[repro] lint: {} new, {} baselined, {} stale",
+        outcome.new.len(),
+        outcome.baselined.len(),
+        outcome.stale.len()
+    );
+    std::process::exit(if outcome.is_clean() { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_args();
+
+    if args.command == "lint" {
+        run_lint();
+    }
 
     // Static and self-contained experiments need no study run.
     let needs_study = !matches!(

@@ -182,12 +182,11 @@ impl CampaignManifest {
                 what: "manifest length",
             });
         }
-        let u64_at = |i: usize| u64::from_le_bytes(body[i..i + 8].try_into().unwrap());
         Ok(Self {
-            seed: u64_at(0),
-            config_hash: u64_at(8),
-            job_digest: u64_at(16),
-            n_jobs: u32::from_le_bytes(body[24..28].try_into().unwrap()),
+            seed: read_u64_le(frame, body, 0, "manifest seed")?,
+            config_hash: read_u64_le(frame, body, 8, "manifest config hash")?,
+            job_digest: read_u64_le(frame, body, 16, "manifest job digest")?,
+            n_jobs: read_u32_le(frame, body, 24, "manifest job count")?,
         })
     }
 }
@@ -292,10 +291,10 @@ impl AttemptEntry {
         if body.len() < 8 + 4 + 8 + 4 + 1 + 1 {
             return Err(malformed("attempt header length"));
         }
-        let tag = u64::from_le_bytes(body[0..8].try_into().unwrap());
-        let attempt = u32::from_le_bytes(body[8..12].try_into().unwrap());
-        let duration_ms = u64::from_le_bytes(body[12..20].try_into().unwrap());
-        let steps = u32::from_le_bytes(body[20..24].try_into().unwrap());
+        let tag = read_u64_le(frame, body, 0, "attempt tag")?;
+        let attempt = read_u32_le(frame, body, 8, "attempt number")?;
+        let duration_ms = read_u64_le(frame, body, 12, "attempt duration")?;
+        let steps = read_u32_le(frame, body, 20, "attempt steps")?;
         let flags = body[24];
         let code = body[25];
         let rest = &body[26..];
@@ -306,10 +305,7 @@ impl AttemptEntry {
             3 => QueryOutcome::Failed,
             4 => QueryOutcome::Stalled,
             5 => {
-                if rest.len() < 4 {
-                    return Err(malformed("plan count"));
-                }
-                let n = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+                let n = read_u32_le(frame, rest, 0, "plan count")? as usize;
                 if rest.len() != 4 + n * 24 {
                     return Err(malformed("plan list length"));
                 }
@@ -317,14 +313,12 @@ impl AttemptEntry {
                 for i in 0..n {
                     let at = 4 + i * 24;
                     let f = |o: usize| {
-                        f64::from_bits(u64::from_le_bytes(
-                            rest[at + o..at + o + 8].try_into().unwrap(),
-                        ))
+                        read_u64_le(frame, rest, at + o, "plan field").map(f64::from_bits)
                     };
                     plans.push(ScrapedPlan {
-                        download_mbps: f(0),
-                        upload_mbps: f(8),
-                        price_usd: f(16),
+                        download_mbps: f(0)?,
+                        upload_mbps: f(8)?,
+                        price_usd: f(16)?,
                     });
                 }
                 QueryOutcome::Plans(plans)
@@ -350,6 +344,32 @@ impl AttemptEntry {
 pub enum Entry {
     Manifest(CampaignManifest),
     Attempt(AttemptEntry),
+}
+
+/// Total little-endian read: a short slice is a [`JournalError::Malformed`]
+/// frame, never a panic, so a corrupt journal can't take down a resume.
+fn read_u64_le(
+    frame: usize,
+    body: &[u8],
+    at: usize,
+    what: &'static str,
+) -> Result<u64, JournalError> {
+    match body.get(at..at + 8).map(<[u8; 8]>::try_from) {
+        Some(Ok(raw)) => Ok(u64::from_le_bytes(raw)),
+        _ => Err(JournalError::Malformed { frame, what }),
+    }
+}
+
+fn read_u32_le(
+    frame: usize,
+    body: &[u8],
+    at: usize,
+    what: &'static str,
+) -> Result<u32, JournalError> {
+    match body.get(at..at + 4).map(<[u8; 4]>::try_from) {
+        Some(Ok(raw)) => Ok(u32::from_le_bytes(raw)),
+        _ => Err(JournalError::Malformed { frame, what }),
+    }
 }
 
 /// Frames a payload: `[len][crc][payload]`.
@@ -414,7 +434,7 @@ fn scan(bytes: &[u8]) -> Result<(Vec<Entry>, usize, Option<JournalError>), Journ
             // Torn header: must be the file's final bytes by construction.
             return Ok((entries, at, Some(JournalError::TornTail)));
         }
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let len = read_u32_le(frame, bytes, at, "frame length")?;
         if len > MAX_FRAME {
             // An absurd length usually *is* a torn/garbage header, but only
             // treat it as torn if it extends past EOF like one.
@@ -423,7 +443,7 @@ fn scan(bytes: &[u8]) -> Result<(Vec<Entry>, usize, Option<JournalError>), Journ
             }
             return Err(JournalError::OversizedFrame { frame, len });
         }
-        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let crc = read_u32_le(frame, bytes, at + 4, "frame crc")?;
         let payload_end = header_end + len as usize;
         if payload_end > bytes.len() {
             // Torn payload at EOF.

@@ -85,7 +85,7 @@ impl Metrics {
             return None;
         }
         let mut v = self.durations_s.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        v.sort_by(|a, b| a.total_cmp(b));
         Some(SimDuration::from_secs_f64(v[v.len() / 2]))
     }
 

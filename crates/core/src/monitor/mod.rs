@@ -269,7 +269,7 @@ impl CampaignMonitor {
             .peek()
             .is_some_and(|entry| entry.at_ms <= self.watermark)
         {
-            let entry = self.heap.pop().expect("peeked");
+            let Some(entry) = self.heap.pop() else { break };
             self.process(entry.at_ms, &entry.kind);
         }
     }
@@ -287,8 +287,10 @@ impl CampaignMonitor {
             if checkpoint < boundary {
                 let snap = self.window.snapshot(checkpoint);
                 self.checkpoints.push((checkpoint, snap));
-                self.next_checkpoint_ms =
-                    Some(checkpoint + self.policy.checkpoint_every.expect("set").as_millis());
+                self.next_checkpoint_ms = self
+                    .policy
+                    .checkpoint_every
+                    .map(|every| checkpoint + every.as_millis());
                 continue;
             }
             let snap = self.window.snapshot(boundary);
@@ -301,8 +303,10 @@ impl CampaignMonitor {
             }
             if checkpoint == boundary {
                 self.checkpoints.push((boundary, snap));
-                self.next_checkpoint_ms =
-                    Some(boundary + self.policy.checkpoint_every.expect("set").as_millis());
+                self.next_checkpoint_ms = self
+                    .policy
+                    .checkpoint_every
+                    .map(|every| boundary + every.as_millis());
             }
             self.window.rotate();
         }

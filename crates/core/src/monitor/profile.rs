@@ -67,9 +67,9 @@ impl PhaseProfiler {
                     // Fetch spans nest inside the attempt and never overlap,
                     // so their sum is bounded by the attempt duration; the
                     // remainder is driver work between pages.
-                    let fetches = self.fetches.remove(&(*tag, *attempt)).unwrap_or_default();
+                    let spans = self.fetches.remove(&(*tag, *attempt)).unwrap_or_default();
                     let mut rest = *duration_ms;
-                    for (i, ms) in fetches.iter().enumerate() {
+                    for (i, ms) in spans.iter().enumerate() {
                         let charged = (*ms).min(rest);
                         rest -= charged;
                         if charged > 0 {

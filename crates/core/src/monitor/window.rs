@@ -151,7 +151,12 @@ impl SlidingWindow {
     /// The caller is responsible for boundary handling (rotation happens
     /// in time order, so an event is always charged to the open bucket).
     pub fn record(&mut self, kind: &EventKind) {
-        let bucket = self.ring.back_mut().expect("ring is never empty");
+        // The ring is constructed non-empty and `rotate` pushes before it
+        // pops, so `back_mut` always has a bucket; dropping the event
+        // beats panicking mid-campaign if that ever breaks.
+        let Some(bucket) = self.ring.back_mut() else {
+            return;
+        };
         match kind {
             EventKind::AttemptEnd {
                 endpoint,

@@ -242,9 +242,12 @@ impl Orchestrator {
             // until the breaker half-opens; the worker stays in rotation.
             if let Some(b) = breaker.as_mut() {
                 if !b.allows(&job.endpoint, now) {
+                    // `reopen_time` is `Some` whenever `allows` says no; if
+                    // the breaker ever disagrees, retry on the next tick
+                    // rather than panic mid-campaign.
                     let resume_at = b
                         .reopen_time(&job.endpoint)
-                        .expect("closed circuits always allow")
+                        .unwrap_or(now)
                         .max(now + SimDuration::from_millis(1));
                     tel.emit(
                         now,

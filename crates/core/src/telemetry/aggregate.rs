@@ -269,7 +269,18 @@ impl MetricsAggregator {
             EventKind::PageFetchBegin { .. } => s.page_fetches += 1,
             EventKind::AlertFired { .. } => s.alerts_fired += 1,
             EventKind::AlertResolved { .. } => s.alerts_resolved += 1,
-            _ => {}
+            // Lifecycle brackets and fetch completions carry no counters of
+            // their own: attempts are charged once at AttemptEnd, and page
+            // fetches once at PageFetchBegin. The arms stay explicit so a
+            // new variant must make this choice deliberately (lint rule E1).
+            EventKind::CampaignBegin { .. }
+            | EventKind::CampaignEnd { .. }
+            | EventKind::WorkerBegin { .. }
+            | EventKind::WorkerEnd { .. }
+            | EventKind::JobBegin { .. }
+            | EventKind::JobEnd { .. }
+            | EventKind::AttemptBegin { .. }
+            | EventKind::PageFetchEnd { .. } => {}
         }
     }
 }

@@ -451,15 +451,14 @@ fn parse_string(b: &[u8], mut i: usize) -> Result<(String, usize), ParseError> {
             Some(_) => {
                 // Multi-byte UTF-8 is carried through verbatim.
                 let rest = &b[i..];
-                let step = match std::str::from_utf8(rest) {
-                    Ok(text) => {
-                        let c = text.chars().next().expect("non-empty");
-                        s.push(c);
-                        c.len_utf8()
-                    }
-                    Err(_) => return Err(ParseError::new("invalid utf-8 in string")),
+                let first = std::str::from_utf8(rest)
+                    .ok()
+                    .and_then(|text| text.chars().next());
+                let Some(c) = first else {
+                    return Err(ParseError::new("invalid utf-8 in string"));
                 };
-                i += step;
+                s.push(c);
+                i += c.len_utf8();
             }
             None => return Err(ParseError::new("unterminated string")),
         }
@@ -476,7 +475,9 @@ fn parse_value(b: &[u8], i: usize) -> Result<(Val, usize), ParseError> {
             while j < b.len() && b[j].is_ascii_digit() {
                 j += 1;
             }
-            let text = std::str::from_utf8(&b[i..j]).expect("ascii digits");
+            let Ok(text) = std::str::from_utf8(&b[i..j]) else {
+                return Err(ParseError::new("invalid utf-8 in number"));
+            };
             if text.len() > 1 && text.starts_with('0') {
                 return Err(ParseError::new("non-canonical number"));
             }
@@ -540,6 +541,7 @@ impl<W: Write> Recorder for JsonlRecorder<W> {
         }
         // A failed write panics; the fan-out poisons this recorder and the
         // campaign carries on without its log.
+        // lint:allow(D3): panicking here is the poisoning contract — the telemetry fan-out catches it and detaches the recorder
         writeln!(self.out, "{}", to_line(event)).expect("event log write failed");
         self.written += 1;
     }

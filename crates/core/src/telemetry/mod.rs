@@ -242,15 +242,28 @@ impl EventKind {
     /// injections) or the act of replaying itself, which an uninterrupted
     /// run and a resumed run necessarily disagree on.
     pub fn replay_stable(&self) -> bool {
-        !matches!(
-            self,
+        match self {
+            EventKind::CampaignBegin { .. }
+            | EventKind::CampaignEnd { .. }
+            | EventKind::WorkerBegin { .. }
+            | EventKind::WorkerEnd { .. }
+            | EventKind::JobBegin { .. }
+            | EventKind::JobEnd { .. }
+            | EventKind::AttemptBegin { .. }
+            | EventKind::AttemptEnd { .. }
+            | EventKind::Retry { .. }
+            | EventKind::BreakerTrip { .. }
+            | EventKind::BreakerDefer { .. }
+            | EventKind::ShedCut { .. }
+            | EventKind::ShedRaise { .. }
+            | EventKind::StallReclaimed { .. } => true,
             EventKind::JournalReplay { .. }
-                | EventKind::FaultInjected { .. }
-                | EventKind::PageFetchBegin { .. }
-                | EventKind::PageFetchEnd { .. }
-                | EventKind::AlertFired { .. }
-                | EventKind::AlertResolved { .. }
-        )
+            | EventKind::FaultInjected { .. }
+            | EventKind::PageFetchBegin { .. }
+            | EventKind::PageFetchEnd { .. }
+            | EventKind::AlertFired { .. }
+            | EventKind::AlertResolved { .. } => false,
+        }
     }
 
     /// The event's name in the JSONL schema.

@@ -1,0 +1,361 @@
+//! `divide-lint` — the workspace's static analyzer.
+//!
+//! The pipeline's headline property — byte-identical crash+resume
+//! reports, event logs and health artifacts (DESIGN.md §7–§9) — rests on
+//! invariants that used to be enforced only by convention. One stray
+//! `Instant::now()` in the orchestrator, one `HashMap` iteration feeding
+//! `events.jsonl`, or one `unwrap()` inside the recorder fan-out silently
+//! breaks every resume guarantee. This crate checks those invariants
+//! mechanically on every CI run:
+//!
+//! * **D1 determinism** — no wall-clock, OS entropy or environment reads
+//!   in replay-critical crates;
+//! * **D2 ordered output** — no `HashMap`/`HashSet` iteration in files
+//!   that emit serialized or ordered artifacts;
+//! * **D3 panic-safety** — no `unwrap()`/`expect()` in non-test
+//!   supervision code (orchestrator, driver, journal, monitor, telemetry);
+//! * **E1 telemetry exhaustiveness** — the `EventKind` enum, its JSONL
+//!   serializer/parser, the replay-stable filter and the
+//!   `MetricsAggregator` must all cover exactly the same variant set,
+//!   with no wildcard arms;
+//! * **W1 lint posture** — every workspace member opts into the shared
+//!   `[workspace.lints]` table.
+//!
+//! Findings carry `file:line:col`, a rule id and a fix hint. Deliberate
+//! exceptions are suppressed inline with `// lint:allow(rule): reason`;
+//! pre-existing debt is grandfathered in a committed baseline file so CI
+//! fails only on regressions (and on stale baseline entries, so the file
+//! can never rot).
+//!
+//! The analyzer is deliberately lexical: a lightweight panic-free lexer
+//! ([`lexer`]) and token-sequence rules, no `syn`, keeping the
+//! workspace's offline vendor policy.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use baseline::Baseline;
+pub use scan::SourceFile;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifies one rule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Determinism: no wall clock / OS entropy / env reads in replay paths.
+    D1,
+    /// Ordered output: no unordered-map iteration feeding serialized files.
+    D2,
+    /// Panic safety: no `unwrap()`/`expect()` in supervision paths.
+    D3,
+    /// Telemetry exhaustiveness: event schema surfaces cover every variant.
+    E1,
+    /// Workspace lint posture: members opt into `[workspace.lints]`.
+    W1,
+}
+
+impl RuleId {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::E1 => "E1",
+            RuleId::W1 => "W1",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "D1" => RuleId::D1,
+            "D2" => RuleId::D2,
+            "D3" => RuleId::D3,
+            "E1" => RuleId::E1,
+            "W1" => RuleId::W1,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic: where, which rule, what, and how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    pub rule: RuleId,
+    /// What is wrong (stable across unrelated edits; baseline-matched).
+    pub message: String,
+    /// How to fix it (informational, not baseline-matched).
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}:{} {}",
+            self.rule, self.file, self.line, self.col, self.message
+        )
+    }
+}
+
+/// Scope configuration: which paths each rule family applies to.
+///
+/// Paths are workspace-relative prefixes with forward slashes; a file is
+/// in scope when its relative path starts with any listed prefix. The
+/// workspace policy lives in [`Config::workspace`]; tests build custom
+/// configs aimed at fixture trees.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub root: PathBuf,
+    /// D1: replay-critical scopes.
+    pub d1_scopes: Vec<String>,
+    /// D2: files/dirs that emit serialized or ordered output.
+    pub d2_scopes: Vec<String>,
+    /// D3: supervision code paths.
+    pub d3_scopes: Vec<String>,
+    /// E1: the telemetry schema surfaces (None disables the rule).
+    pub e1: Option<E1Config>,
+    /// W1: member manifest globs that must opt into workspace lints
+    /// (None disables the rule).
+    pub w1_member_dirs: Option<Vec<String>>,
+}
+
+/// Where the telemetry schema and its consumers live.
+#[derive(Debug, Clone)]
+pub struct E1Config {
+    /// File declaring the event enum, its `name()` map and the
+    /// replay-stable filter.
+    pub enum_file: String,
+    /// The enum's type name (`EventKind`).
+    pub enum_name: String,
+    /// Method mapping variants to wire names.
+    pub name_fn: String,
+    /// The replay-stable subset filter.
+    pub stable_fn: String,
+    /// File holding the JSONL serializer and parser.
+    pub serializer_file: String,
+    pub serialize_fn: String,
+    pub parse_fn: String,
+    /// File holding the metrics aggregator.
+    pub aggregator_file: String,
+    pub aggregate_fn: String,
+}
+
+impl Config {
+    /// The committed policy for this workspace (see DESIGN.md §10).
+    pub fn workspace(root: PathBuf) -> Self {
+        Self {
+            root,
+            // Replay-critical crates: anything here feeds the virtual
+            // clock, the seeded draws, or the journal replay path.
+            d1_scopes: vec![
+                "crates/net/src/".into(),
+                "crates/core/src/".into(),
+                "crates/dataset/src/".into(),
+            ],
+            // Files that emit serialized or ordered artifacts: the WAL,
+            // the JSONL event log, the Prometheus exposition, the folded
+            // profile, and the dataset CSVs.
+            d2_scopes: vec![
+                "crates/core/src/journal.rs".into(),
+                "crates/core/src/telemetry/".into(),
+                "crates/core/src/monitor/".into(),
+                "crates/dataset/src/".into(),
+            ],
+            // Supervision paths: a panic here takes down a campaign (or a
+            // recorder fan-out) instead of surfacing a typed error.
+            d3_scopes: vec![
+                "crates/core/src/".into(),
+                "crates/dataset/src/pipeline.rs".into(),
+            ],
+            e1: Some(E1Config {
+                enum_file: "crates/core/src/telemetry/mod.rs".into(),
+                enum_name: "EventKind".into(),
+                name_fn: "name".into(),
+                stable_fn: "replay_stable".into(),
+                serializer_file: "crates/core/src/telemetry/jsonl.rs".into(),
+                serialize_fn: "to_line".into(),
+                parse_fn: "parse_line".into(),
+                aggregator_file: "crates/core/src/telemetry/aggregate.rs".into(),
+                aggregate_fn: "observe".into(),
+            }),
+            w1_member_dirs: Some(vec!["crates".into(), "vendor".into()]),
+        }
+    }
+
+    /// A config with every scope empty — fixture tests enable exactly the
+    /// rules they exercise.
+    pub fn bare(root: PathBuf) -> Self {
+        Self {
+            root,
+            d1_scopes: Vec::new(),
+            d2_scopes: Vec::new(),
+            d3_scopes: Vec::new(),
+            e1: None,
+            w1_member_dirs: None,
+        }
+    }
+
+    fn rust_scopes(&self) -> Vec<String> {
+        let mut scopes: Vec<String> = self
+            .d1_scopes
+            .iter()
+            .chain(&self.d2_scopes)
+            .chain(&self.d3_scopes)
+            .cloned()
+            .collect();
+        if let Some(e1) = &self.e1 {
+            scopes.push(e1.enum_file.clone());
+            scopes.push(e1.serializer_file.clone());
+            scopes.push(e1.aggregator_file.clone());
+        }
+        scopes.sort();
+        scopes.dedup();
+        scopes
+    }
+}
+
+/// Runs every configured rule and returns suppression-filtered findings,
+/// sorted by `(file, line, col, rule)`.
+pub fn analyze(config: &Config) -> Result<Vec<Finding>, String> {
+    let files = collect_sources(config)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        if scan::in_scope(&file.rel, &config.d1_scopes) {
+            rules::determinism::check(file, &mut findings);
+        }
+        if scan::in_scope(&file.rel, &config.d2_scopes) {
+            rules::ordering::check(file, &mut findings);
+        }
+        if scan::in_scope(&file.rel, &config.d3_scopes) {
+            rules::panics::check(file, &mut findings);
+        }
+    }
+    if let Some(e1) = &config.e1 {
+        rules::exhaustive::check(e1, &files, &mut findings);
+    }
+    if let Some(dirs) = &config.w1_member_dirs {
+        rules::posture::check(&config.root, dirs, &mut findings)?;
+    }
+    findings.retain(|f| !is_suppressed(f, &files));
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+/// The outcome of an analysis run judged against a baseline.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Findings not covered by the baseline: regressions, CI-fatal.
+    pub new: Vec<Finding>,
+    /// Findings matched by a baseline entry: grandfathered debt.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries matching no current finding: stale, CI-fatal
+    /// (the debt was paid — the entry must be removed).
+    pub stale: Vec<baseline::Entry>,
+}
+
+impl Outcome {
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Runs the analysis and splits the result against `baseline`.
+pub fn analyze_with_baseline(config: &Config, baseline: &Baseline) -> Result<Outcome, String> {
+    let findings = analyze(config)?;
+    Ok(baseline.judge(findings))
+}
+
+fn is_suppressed(finding: &Finding, files: &[SourceFile]) -> bool {
+    // W1 findings sit on manifests, which carry no suppressions.
+    let Some(file) = files.iter().find(|f| f.rel == finding.file) else {
+        return false;
+    };
+    file.lexed.suppressions.iter().any(|s| {
+        (s.line == finding.line || s.line + 1 == finding.line)
+            && s.rules.iter().any(|r| r == finding.rule.as_str())
+    })
+}
+
+/// Loads and lexes every `.rs` file any rule's scope names, in sorted
+/// path order (the analyzer's own output must be deterministic).
+fn collect_sources(config: &Config) -> Result<Vec<SourceFile>, String> {
+    let mut rel_paths = Vec::new();
+    walk_rs(&config.root, Path::new(""), &mut rel_paths)?;
+    rel_paths.sort();
+    let scopes = config.rust_scopes();
+    let mut files = Vec::new();
+    for rel in rel_paths {
+        if !scan::in_scope(&rel, &scopes) {
+            continue;
+        }
+        let abs = config.root.join(&rel);
+        let bytes =
+            std::fs::read(&abs).map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        files.push(SourceFile::new(rel, &bytes));
+    }
+    Ok(files)
+}
+
+fn walk_rs(root: &Path, rel: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries =
+        std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut names: Vec<(bool, String)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.path().is_dir();
+        names.push((is_dir, name));
+    }
+    names.sort();
+    for (is_dir, name) in names {
+        // Build output, VCS metadata, and the vendored shims are never in
+        // any rule's scope; skipping them keeps the walk fast.
+        if is_dir && matches!(name.as_str(), "target" | ".git" | "vendor" | ".claude") {
+            continue;
+        }
+        let child = if rel.as_os_str().is_empty() {
+            PathBuf::from(&name)
+        } else {
+            rel.join(&name)
+        };
+        if is_dir {
+            walk_rs(root, &child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the analysis root.
+pub fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,131 @@
+//! The `divide-lint` CLI.
+//!
+//! ```text
+//! divide-lint [--root DIR] [--baseline FILE | --no-baseline]
+//!             [--write-baseline] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new findings or stale baseline entries,
+//! `2` usage / configuration errors (unreadable files, malformed
+//! baseline).
+
+use divide_lint::{analyze, baseline::Baseline, discover_root, Config, Finding};
+use std::path::PathBuf;
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: divide-lint [--root DIR] [--baseline FILE | --no-baseline] \
+         [--write-baseline] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--no-baseline" => args.no_baseline = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("divide-lint: {msg}");
+    std::process::exit(2);
+}
+
+fn print_findings(header: &str, findings: &[Finding], quiet: bool) {
+    if findings.is_empty() {
+        return;
+    }
+    println!("{header}");
+    for f in findings {
+        println!("  {f}");
+        if !quiet && !f.hint.is_empty() {
+            println!("      hint: {}", f.hint);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let root = match args
+        .root
+        .or_else(|| std::env::current_dir().ok().and_then(|d| discover_root(&d)))
+    {
+        Some(r) => r,
+        None => fail("no workspace root found (run inside the workspace or pass --root)"),
+    };
+    let config = Config::workspace(root.clone());
+
+    let baseline_path = args.baseline.unwrap_or_else(|| root.join("lint.baseline"));
+
+    if args.write_baseline {
+        let findings = analyze(&config).unwrap_or_else(|e| fail(&e));
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            fail(&format!("cannot write {}: {e}", baseline_path.display()));
+        }
+        println!(
+            "divide-lint: wrote {} entries to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    let baseline = if args.no_baseline {
+        Baseline::empty()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text).unwrap_or_else(|e| fail(&e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::empty(),
+            Err(e) => fail(&format!("cannot read {}: {e}", baseline_path.display())),
+        }
+    };
+
+    let outcome = match analyze(&config) {
+        Ok(findings) => baseline.judge(findings),
+        Err(e) => fail(&e),
+    };
+
+    print_findings("new findings (not baselined):", &outcome.new, args.quiet);
+    if !outcome.stale.is_empty() {
+        println!("stale baseline entries (no longer match any finding):");
+        for e in &outcome.stale {
+            println!("  {}", e.render());
+        }
+        println!("  regenerate with `divide-lint --write-baseline` after review");
+    }
+    println!(
+        "divide-lint: {} new, {} baselined, {} stale",
+        outcome.new.len(),
+        outcome.baselined.len(),
+        outcome.stale.len()
+    );
+    std::process::exit(if outcome.is_clean() { 0 } else { 1 });
+}

@@ -1,0 +1,88 @@
+//! **D1** — determinism: replay-critical crates must not read the wall
+//! clock, OS entropy, or the process environment.
+//!
+//! A journaled resume replays attempts on the *virtual* clock with draws
+//! derived from `(seed, tag, attempt)`; any ambient input desynchronizes
+//! the resumed run from the original and silently voids the
+//! byte-identity guarantees (DESIGN.md §7). Tests are exempt — they may
+//! stage temp dirs and real time freely.
+
+use crate::scan::{self, SourceFile};
+use crate::{Finding, RuleId};
+
+/// `(path segments, what, hint)` — a match on the qualified path.
+const BANNED_PATHS: &[(&[&str], &str, &str)] = &[
+    (
+        &["Instant", "now"],
+        "wall-clock read `Instant::now()` in a replay-critical crate",
+        "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
+    ),
+    (
+        &["SystemTime", "now"],
+        "wall-clock read `SystemTime::now()` in a replay-critical crate",
+        "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
+    ),
+    (
+        &["std", "time", "Instant"],
+        "import of `std::time::Instant` in a replay-critical crate",
+        "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
+    ),
+    (
+        &["std", "time", "SystemTime"],
+        "import of `std::time::SystemTime` in a replay-critical crate",
+        "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
+    ),
+    (
+        &["std", "env"],
+        "process-environment read via `std::env` in a replay-critical crate",
+        "thread configuration through `BqtConfig`/`CurationOptions` instead",
+    ),
+];
+
+/// Bare identifiers that always mean OS entropy.
+const BANNED_IDENTS: &[(&str, &str, &str)] = &[
+    (
+        "thread_rng",
+        "OS-entropy RNG `thread_rng` in a replay-critical crate",
+        "derive a seeded `StdRng` from the campaign seed (`mix64`)",
+    ),
+    (
+        "from_entropy",
+        "OS-entropy seeding `from_entropy` in a replay-critical crate",
+        "derive a seeded `StdRng` from the campaign seed (`mix64`)",
+    ),
+];
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = file.tokens();
+    for i in 0..tokens.len() {
+        let tok = &tokens[i];
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        for (segs, what, hint) in BANNED_PATHS {
+            if scan::path_at(tokens, i, segs).is_some() {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RuleId::D1,
+                    message: (*what).to_string(),
+                    hint: (*hint).to_string(),
+                });
+            }
+        }
+        for (name, what, hint) in BANNED_IDENTS {
+            if scan::is_ident(tok, name) {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RuleId::D1,
+                    message: (*what).to_string(),
+                    hint: (*hint).to_string(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The rule families. Each module exposes `check(...)`, pushing
+//! [`Finding`](crate::Finding)s for one source file (or, for the
+//! cross-file rules E1/W1, for the whole workspace).
+
+pub mod determinism;
+pub mod exhaustive;
+pub mod ordering;
+pub mod panics;
+pub mod posture;

@@ -1,0 +1,165 @@
+//! **D2** — ordered output: files that emit serialized or ordered
+//! artifacts (the WAL, `events.jsonl`, `health.prom`, `profile.folded`,
+//! dataset CSVs) must not iterate `HashMap`/`HashSet`.
+//!
+//! Hash iteration order is arbitrary and — with a randomized hasher —
+//! varies between *runs of the same binary*, so one `for (k, v) in &map`
+//! feeding a writer breaks byte-identity across crash/resume. Keyed
+//! lookups (`get`, `entry`, `remove`, `insert`) are fine; only
+//! order-revealing iteration is flagged. The fix is `BTreeMap`/`BTreeSet`
+//! or an explicit collect-and-sort.
+//!
+//! The rule is lexical: it tracks identifiers *declared* with a hash-map
+//! type in the same file (let annotations, struct fields, fn params,
+//! `= HashMap::new()` initializers) and flags iteration over them. An
+//! unordered map that crosses file boundaries into an ordered-output
+//! file should be converted at its declaration — which this rule forces,
+//! because the declaring file is in scope whenever its consumers are.
+
+use crate::lexer::Token;
+use crate::scan::{self, SourceFile};
+use crate::{Finding, RuleId};
+use std::collections::BTreeSet;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that reveal iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = file.tokens();
+    let tracked = tracked_idents(tokens);
+    if tracked.is_empty() {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let tok = &tokens[i];
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        // `name.iter()` / `self.name.keys()` — the receiver ident sits
+        // two tokens before the method name.
+        if let Some(method) = scan::ident_name(tok) {
+            if ITER_METHODS.contains(&method)
+                && i >= 2
+                && scan::is_punct(&tokens[i - 1], '.')
+                && scan::ident_name(&tokens[i - 2]).is_some_and(|n| tracked.contains(n))
+                && tokens.get(i + 1).is_some_and(|t| scan::is_punct(t, '('))
+            {
+                let name = scan::ident_name(&tokens[i - 2]).unwrap_or_default();
+                findings.push(finding(file, tok, name, method));
+            }
+            // `for x in &name { ... }` — implicit IntoIterator.
+            if method == "in" {
+                if let Some((name, at)) = for_in_target(tokens, i, &tracked) {
+                    findings.push(finding(file, at, name, "for-in"));
+                }
+            }
+        }
+    }
+}
+
+fn finding(file: &SourceFile, tok: &Token, name: &str, how: &str) -> Finding {
+    Finding {
+        file: file.rel.clone(),
+        line: tok.line,
+        col: tok.col,
+        rule: RuleId::D2,
+        message: format!(
+            "iteration (`{how}`) over unordered map `{name}` in an ordered-output file"
+        ),
+        hint: "declare it as BTreeMap/BTreeSet, or collect and sort explicitly before emitting"
+            .into(),
+    }
+}
+
+/// After `in`, skip `&`, `mut`, `self`, `.`; if the next ident is tracked
+/// and the loop body opens right after it, that's hash-order iteration.
+fn for_in_target<'a>(
+    tokens: &'a [Token],
+    in_idx: usize,
+    tracked: &BTreeSet<String>,
+) -> Option<(&'a str, &'a Token)> {
+    let mut k = in_idx + 1;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if scan::is_punct(t, '&') || scan::is_ident(t, "mut") || scan::is_ident(t, "self") {
+            k += 1;
+            continue;
+        }
+        if scan::is_punct(t, '.') {
+            k += 1;
+            continue;
+        }
+        break;
+    }
+    let name = scan::ident_name(tokens.get(k)?)?;
+    if !tracked.contains(name) {
+        return None;
+    }
+    // Only a direct `{` means the map itself is the iterator; a method
+    // call on it is judged by the method rule instead.
+    if scan::is_punct(tokens.get(k + 1)?, '{') {
+        Some((name, &tokens[k]))
+    } else {
+        None
+    }
+}
+
+/// Identifiers declared with a hash-map type anywhere in the file:
+/// `name: HashMap<..>` (fields, params, let annotations) and
+/// `name = HashMap::new()` style initializers.
+fn tracked_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for i in 0..tokens.len() {
+        let Some(ty) = scan::ident_name(&tokens[i]) else {
+            continue;
+        };
+        if !HASH_TYPES.contains(&ty) {
+            continue;
+        }
+        // Walk left over a qualifying path (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2
+            && scan::is_punct(&tokens[j - 1], ':')
+            && scan::is_punct(&tokens[j - 2], ':')
+            && j >= 3
+            && scan::ident_name(&tokens[j - 3]).is_some()
+        {
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name : HashMap` — annotation (let / field / param).
+        if scan::is_punct(&tokens[j - 1], ':')
+            && j >= 2
+            && !scan::is_punct(&tokens[j - 2], ':')
+            && scan::ident_name(&tokens[j - 2]).is_some()
+        {
+            if let Some(name) = scan::ident_name(&tokens[j - 2]) {
+                tracked.insert(name.to_string());
+            }
+        }
+        // `name = HashMap::...` — inferred-type initializer.
+        if scan::is_punct(&tokens[j - 1], '=')
+            && j >= 2
+            && scan::ident_name(&tokens[j - 2]).is_some()
+        {
+            if let Some(name) = scan::ident_name(&tokens[j - 2]) {
+                tracked.insert(name.to_string());
+            }
+        }
+    }
+    tracked
+}

@@ -1,0 +1,49 @@
+//! **D3** — panic safety: supervision code (orchestrator, driver,
+//! journal, monitor, telemetry fan-out) must not `unwrap()` or
+//! `expect()` outside tests.
+//!
+//! A panic in these paths doesn't just kill one query: it tears down the
+//! whole campaign mid-journal (leaving recovery to the torn-tail
+//! scanner) or rips through the recorder fan-out the poisoning machinery
+//! exists to protect. Fallible paths return typed errors
+//! (`JournalError`); genuinely-infallible spots are restructured
+//! (`let .. else`, `map_or`) or carry an explicit
+//! `// lint:allow(D3): reason` stating the contract.
+
+use crate::scan::{self, SourceFile};
+use crate::{Finding, RuleId};
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = file.tokens();
+    for i in 1..tokens.len() {
+        let tok = &tokens[i];
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        let Some(name) = scan::ident_name(tok) else {
+            continue;
+        };
+        let is_call = |n: usize| tokens.get(n).is_some_and(|t| scan::is_punct(t, '('));
+        if !scan::is_punct(&tokens[i - 1], '.') || !is_call(i + 1) {
+            continue;
+        }
+        let message = match name {
+            // `.unwrap()` exactly: `unwrap_or*` are total and fine.
+            "unwrap" if tokens.get(i + 2).is_some_and(|t| scan::is_punct(t, ')')) => {
+                "`.unwrap()` in a supervision path"
+            }
+            "expect" => "`.expect()` in a supervision path",
+            _ => continue,
+        };
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            rule: RuleId::D3,
+            message: message.to_string(),
+            hint: "return a typed error, restructure with let-else/map_or, or justify with \
+                   `// lint:allow(D3): reason`"
+                .into(),
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! **W1** — workspace lint posture: the root manifest must declare a
+//! shared `[workspace.lints]` table and every member must opt in with
+//! `[lints] workspace = true`, so `cargo clippy -- -D warnings` has one
+//! source of truth (and `unsafe_code = "deny"` reaches every crate).
+
+use crate::{Finding, RuleId};
+use std::path::Path;
+
+pub fn check(
+    root: &Path,
+    member_dirs: &[String],
+    findings: &mut Vec<Finding>,
+) -> Result<(), String> {
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("cannot read {}: {e}", root_manifest.display()))?;
+    if !text.contains("[workspace.lints") {
+        findings.push(manifest_finding(
+            "Cargo.toml",
+            "workspace manifest has no `[workspace.lints]` table",
+            "declare the shared lint table (rust.unsafe_code = \"deny\" plus the clippy set)",
+        ));
+    }
+
+    let mut manifests: Vec<String> = Vec::new();
+    for dir in member_dirs {
+        let base = root.join(dir);
+        let Ok(entries) = std::fs::read_dir(&base) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let manifest = entry.path().join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push(format!(
+                    "{}/{}/Cargo.toml",
+                    dir,
+                    entry.file_name().to_string_lossy()
+                ));
+            }
+        }
+    }
+    manifests.sort();
+    for rel in manifests {
+        let text = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        if !opts_in(&text) {
+            findings.push(manifest_finding(
+                &rel,
+                "member does not opt into the shared `[workspace.lints]` table",
+                "add `[lints]\\nworkspace = true` to the manifest",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A `[lints]` section whose body sets `workspace = true`.
+fn opts_in(manifest: &str) -> bool {
+    let Some(at) = manifest.find("[lints]") else {
+        return false;
+    };
+    let body = &manifest[at + "[lints]".len()..];
+    let end = body.find("\n[").unwrap_or(body.len());
+    body[..end]
+        .lines()
+        .any(|l| l.split('#').next().unwrap_or("").replace(' ', "") == "workspace=true")
+}
+
+fn manifest_finding(rel: &str, message: &str, hint: &str) -> Finding {
+    Finding {
+        file: rel.to_string(),
+        line: 1,
+        col: 1,
+        rule: RuleId::W1,
+        message: message.to_string(),
+        hint: hint.to_string(),
+    }
+}

@@ -1,0 +1,231 @@
+//! divide-lint integration tests: the fixture corpus under
+//! `tests/lint_fixtures/` (one known-bad / known-clean pair per rule),
+//! the baseline delta logic, a lexer-totality property, and a self-run
+//! asserting the real workspace is clean against the committed baseline.
+
+use divide_lint::{analyze, analyze_with_baseline, Baseline, Config, Finding, RuleId};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("lint_fixtures")
+}
+
+fn run(configure: impl FnOnce(&mut Config)) -> Vec<Finding> {
+    let mut config = Config::bare(fixtures());
+    configure(&mut config);
+    analyze(&config).expect("fixture analysis")
+}
+
+// ---- D1: determinism ------------------------------------------------
+
+#[test]
+fn d1_flags_every_ambient_input() {
+    let findings = run(|c| c.d1_scopes = vec!["d1/bad.rs".into()]);
+    assert!(findings.iter().all(|f| f.rule == RuleId::D1));
+    let expect = [
+        "import of `std::time::Instant`",
+        "wall-clock read `Instant::now()`",
+        "wall-clock read `SystemTime::now()`",
+        "process-environment read via `std::env`",
+        "OS-entropy RNG `thread_rng`",
+        "OS-entropy seeding `from_entropy`",
+    ];
+    for needle in expect {
+        assert!(
+            findings.iter().any(|f| f.message.contains(needle)),
+            "missing D1 finding for {needle:?}: {findings:?}"
+        );
+    }
+    assert_eq!(findings.len(), expect.len(), "{findings:?}");
+    // Locations are exact: the import sits on line 5 of the fixture.
+    assert_eq!((findings[0].line, findings[0].col), (5, 5));
+}
+
+#[test]
+fn d1_exempts_tests_and_honours_suppression() {
+    let findings = run(|c| c.d1_scopes = vec!["d1/clean.rs".into()]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---- D2: ordered output ---------------------------------------------
+
+#[test]
+fn d2_flags_hash_iteration_feeding_emitters() {
+    let findings = run(|c| c.d2_scopes = vec!["d2/bad.rs".into()]);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RuleId::D2));
+    assert!(findings[0].message.contains("`for-in`"), "{findings:?}");
+    assert!(findings[1].message.contains("`keys`"), "{findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("`rows`")));
+}
+
+#[test]
+fn d2_allows_ordered_maps_keyed_lookups_and_tests() {
+    let findings = run(|c| c.d2_scopes = vec!["d2/clean.rs".into()]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---- D3: panic safety -----------------------------------------------
+
+#[test]
+fn d3_flags_unwrap_and_expect() {
+    let findings = run(|c| c.d3_scopes = vec!["d3/bad.rs".into()]);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings[0].message.contains("`.unwrap()`"));
+    assert!(findings[1].message.contains("`.expect()`"));
+}
+
+#[test]
+fn d3_allows_totals_suppressions_and_tests() {
+    let findings = run(|c| c.d3_scopes = vec!["d3/clean.rs".into()]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---- E1: telemetry exhaustiveness -----------------------------------
+
+fn e1_config(file: &str) -> divide_lint::E1Config {
+    divide_lint::E1Config {
+        enum_file: file.into(),
+        enum_name: "Kind".into(),
+        name_fn: "name".into(),
+        stable_fn: "replay_stable".into(),
+        serializer_file: file.into(),
+        serialize_fn: "to_line".into(),
+        parse_fn: "parse_line".into(),
+        aggregator_file: file.into(),
+        aggregate_fn: "observe".into(),
+    }
+}
+
+#[test]
+fn e1_accepts_a_fully_covered_schema() {
+    let findings = run(|c| c.e1 = Some(e1_config("e1_ok/schema.rs")));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn e1_flags_missing_variants_wildcards_and_parser_gaps() {
+    let findings = run(|c| c.e1 = Some(e1_config("e1_bad/schema.rs")));
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RuleId::E1));
+    for needle in [
+        "does not cover `Kind::B`",
+        "does not cover `Kind::C`",
+        "wildcard `_ =>` arm in replay-stable filter",
+        "does not handle wire name \"c\"",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(needle)),
+            "missing E1 finding for {needle:?}: {findings:?}"
+        );
+    }
+}
+
+// ---- W1: workspace lint posture -------------------------------------
+
+#[test]
+fn w1_flags_missing_table_and_member_opt_out() {
+    let mut config = Config::bare(fixtures().join("w1_bad"));
+    config.w1_member_dirs = Some(vec!["crates".into()]);
+    let findings = analyze(&config).expect("fixture analysis");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RuleId::W1));
+    assert_eq!(findings[0].file, "Cargo.toml");
+    assert_eq!(findings[1].file, "crates/a/Cargo.toml");
+}
+
+#[test]
+fn w1_accepts_a_wired_workspace() {
+    let mut config = Config::bare(fixtures().join("w1_clean"));
+    config.w1_member_dirs = Some(vec!["crates".into()]);
+    let findings = analyze(&config).expect("fixture analysis");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---- baseline delta --------------------------------------------------
+
+#[test]
+fn baseline_grandfathers_matches_and_surfaces_regressions_and_stale() {
+    let findings = run(|c| c.d3_scopes = vec!["d3/bad.rs".into()]);
+    assert_eq!(findings.len(), 2);
+
+    // Baseline the unwrap only: the expect is a "regression".
+    let text = Baseline::render(&findings[..1]);
+    let baseline = Baseline::parse(&text).expect("parse rendered baseline");
+    let mut config = Config::bare(fixtures());
+    config.d3_scopes = vec!["d3/bad.rs".into()];
+    let outcome = analyze_with_baseline(&config, &baseline).expect("analysis");
+    assert_eq!(outcome.baselined.len(), 1);
+    assert_eq!(outcome.new.len(), 1);
+    assert!(outcome.stale.is_empty());
+    assert!(!outcome.is_clean());
+
+    // An entry pointing at fixed code is stale and also fails the run.
+    let stale_text = format!("{text}D3 d3/bad.rs:99:1 `.unwrap()` in a supervision path\n");
+    let stale_base = Baseline::parse(&stale_text).expect("parse");
+    let outcome = analyze_with_baseline(&config, &stale_base).expect("analysis");
+    assert_eq!(outcome.stale.len(), 1);
+    assert!(!outcome.is_clean());
+}
+
+// ---- self-run ---------------------------------------------------------
+
+/// The dogfood gate: the real workspace must be clean against the
+/// committed baseline — exactly what CI's `repro lint` enforces.
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("lint.baseline")).expect("read lint.baseline");
+    let baseline = Baseline::parse(&text).expect("parse lint.baseline");
+    let outcome =
+        analyze_with_baseline(&Config::workspace(root), &baseline).expect("workspace analysis");
+    assert!(
+        outcome.new.is_empty(),
+        "non-baselined findings:\n{}",
+        outcome
+            .new
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.stale.is_empty(),
+        "stale baseline entries:\n{}",
+        outcome
+            .stale
+            .iter()
+            .map(|e| e.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+// ---- lexer totality ----------------------------------------------------
+
+proptest! {
+    /// The lexer is total: arbitrary bytes — invalid UTF-8, unterminated
+    /// strings, nested comment garbage — never panic it.
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let lexed = divide_lint::lexer::lex_bytes(&bytes);
+        // Positions stay 1-based whatever the input looked like.
+        for tok in &lexed.tokens {
+            prop_assert!(tok.line >= 1 && tok.col >= 1);
+        }
+    }
+
+    /// Source-shaped inputs (ASCII with comment/string delimiters) hit
+    /// the lexer's tricky paths; still total.
+    #[test]
+    fn lexer_never_panics_on_source_shaped_text(
+        text in "[ -~\\n\"'/*#r]{0,512}",
+    ) {
+        let _ = divide_lint::lexer::lex(&text);
+    }
+}

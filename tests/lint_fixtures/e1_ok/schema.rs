@@ -1,0 +1,47 @@
+//! E1 known-clean fixture: a two-variant event schema whose four
+//! surfaces (wire-name map, replay-stable filter, serializer,
+//! aggregator) each cover every variant, and whose parser handles every
+//! wire name. No wildcard arms anywhere.
+
+pub enum Kind {
+    A,
+    B { n: u64 },
+}
+
+impl Kind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kind::A => "a",
+            Kind::B { .. } => "b",
+        }
+    }
+
+    pub fn replay_stable(&self) -> bool {
+        match self {
+            Kind::A => true,
+            Kind::B { .. } => false,
+        }
+    }
+}
+
+pub fn to_line(kind: &Kind) -> String {
+    match kind {
+        Kind::A => String::from("a"),
+        Kind::B { n } => format!("b {n}"),
+    }
+}
+
+pub fn parse_line(line: &str) -> Option<Kind> {
+    match line.split(' ').next() {
+        Some("a") => Some(Kind::A),
+        Some("b") => Some(Kind::B { n: 0 }),
+        _ => None,
+    }
+}
+
+pub fn observe(kind: &Kind, hits: &mut u64) {
+    match kind {
+        Kind::A => *hits += 1,
+        Kind::B { .. } => {}
+    }
+}
