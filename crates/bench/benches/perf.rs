@@ -1,0 +1,169 @@
+//! The PR-6 perf trajectory under Criterion: the same five benches
+//! `repro bench` measures — journal append, JSONL encode, BAT page step,
+//! aggregator observe, and sharded campaign throughput across thread
+//! counts — for interactive `cargo bench -p bench --bench perf` runs.
+//! The committed numbers come from `repro bench` (see `bench::perf`),
+//! which emits `BENCH_pr6.json`.
+
+use bbsim_bat::{templates, BatServer};
+use bbsim_census::city_by_name;
+use bbsim_isp::{CityWorld, Isp};
+use bbsim_net::{
+    Endpoint, IpPool, Request, RotationPolicy, SimDuration, SimIp, SimTime, Transport,
+};
+use bqt::{
+    AttemptEntry, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, MetricsAggregator,
+    Orchestrator, QueryJob, Recorder, RingRecorder, ShardEnv, ShardPlan, ShardSpec,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+const SEED: u64 = 6;
+
+fn world() -> Arc<CityWorld> {
+    Arc::new(CityWorld::build(
+        city_by_name("Billings").expect("study city"),
+    ))
+}
+
+fn transport(world: &Arc<CityWorld>) -> Transport {
+    let mut t = Transport::hermetic(SEED);
+    let server = BatServer::new(Isp::CenturyLink, world.clone());
+    let net = server.profile().network_latency;
+    t.register(
+        Isp::CenturyLink.slug(),
+        Endpoint::new(Box::new(server), net),
+    );
+    t
+}
+
+fn jobs(world: &Arc<CityWorld>, n: usize) -> Vec<QueryJob> {
+    world
+        .addresses()
+        .records()
+        .iter()
+        .cycle()
+        .take(n)
+        .enumerate()
+        .map(|(i, r)| QueryJob {
+            endpoint: Isp::CenturyLink.slug().to_string(),
+            dialect: templates::dialect_of(Isp::CenturyLink),
+            input_line: r.listing_line.clone(),
+            tag: i as u64,
+        })
+        .collect()
+}
+
+fn bench_perf(c: &mut Criterion) {
+    let world = world();
+    let jobs = jobs(&world, 240);
+    let config = BqtConfig::paper_default(SimDuration::from_secs(45));
+    let orch = Orchestrator {
+        n_workers: 16,
+        ..Orchestrator::paper_default(SEED)
+    };
+
+    // One real campaign supplies the micro-benches' inputs.
+    let mut ring = RingRecorder::new(4_000_000);
+    let report = {
+        let mut t = transport(&world);
+        let mut pool = IpPool::residential(64, RotationPolicy::RoundRobin, SEED);
+        Campaign::from_orchestrator(orch.clone())
+            .config(config)
+            .recorder(&mut ring)
+            .run(&mut t, &jobs, &mut pool)
+            .expect("journal-less campaigns cannot fail")
+            .report()
+    };
+    let events: Vec<bqt::Event> = ring.events().cloned().collect();
+
+    let mut journal = Journal::in_memory();
+    journal
+        .bind_manifest(orch.manifest(&config, &jobs))
+        .expect("fresh journal binds");
+    let mut i = 0u64;
+    c.bench_function("perf/journal_append", |b| {
+        b.iter(|| {
+            let rec = &report.records[(i as usize) % report.records.len()];
+            i += 1;
+            journal
+                .append(AttemptEntry::from_record(rec, (i / 1_000_000) as u32))
+                .expect("in-memory append");
+        })
+    });
+
+    let mut log = JsonlRecorder::new(Vec::with_capacity(1 << 24));
+    let mut i = 0usize;
+    c.bench_function("perf/jsonl_encode", |b| {
+        b.iter(|| {
+            log.record(&events[i % events.len()]);
+            i += 1;
+        })
+    });
+
+    let mut t = transport(&world);
+    let src = SimIp(u32::from_be_bytes([100, 64, 0, 1]));
+    let mut now = SimTime::ZERO;
+    let mut i = 0usize;
+    c.bench_function("perf/bat_page_step", |b| {
+        b.iter(|| {
+            let line = &jobs[i % jobs.len()].input_line;
+            i += 1;
+            now += SimDuration::from_secs(10);
+            black_box(
+                t.round_trip(
+                    Isp::CenturyLink.slug(),
+                    src,
+                    &Request::post("/locate", format!("address={line}")),
+                    now,
+                )
+                .expect("page step"),
+            );
+        })
+    });
+
+    let mut agg = MetricsAggregator::default();
+    let mut i = 0usize;
+    c.bench_function("perf/aggregator_observe", |b| {
+        b.iter(|| {
+            agg.record(&events[i % events.len()]);
+            i += 1;
+        })
+    });
+
+    let plan = ShardPlan::round_robin(SEED, &jobs, 8);
+    for threads in [1usize, 2, 4] {
+        let world = world.clone();
+        let make_env = move |_spec: &ShardSpec| -> Result<ShardEnv, JournalError> {
+            let mut t = Transport::hermetic(SEED);
+            let server = BatServer::new(Isp::CenturyLink, world.clone());
+            let net = server.profile().network_latency;
+            t.register(
+                Isp::CenturyLink.slug(),
+                Endpoint::new(Box::new(server), net),
+            );
+            Ok(ShardEnv {
+                transport: t,
+                pool: IpPool::residential(64, RotationPolicy::RoundRobin, SEED),
+                journal: None,
+            })
+        };
+        c.bench_function(
+            &format!("perf/campaign_throughput/threads={threads}"),
+            |b| {
+                b.iter(|| {
+                    let outcome = Campaign::from_orchestrator(orch.clone())
+                        .config(config)
+                        .threads(threads)
+                        .run_sharded(&plan, &make_env)
+                        .expect("journal-less sharded campaigns cannot fail");
+                    assert!(!outcome.crashed());
+                    black_box(outcome.events.len())
+                })
+            },
+        );
+    }
+}
+
+criterion_group!(benches, bench_perf);
+criterion_main!(benches);

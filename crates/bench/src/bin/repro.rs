@@ -12,6 +12,8 @@
 //!   staleness audit drift chaos resume trace health tier-flattening
 //!   markup-baseline upload-consistency robustness policy release
 //!   lint       run divide-lint against the committed baseline
+//!   bench      run the perf trajectory, write BENCH_pr6.json ([--quick])
+//!   determinism  print per-artifact content hashes at --threads N
 //! ```
 //!
 //! `--scale quick` (default) runs the full pipeline with ~6 sampled
@@ -29,6 +31,7 @@ struct Args {
     seed: u64,
     threads: usize,
     out: Option<String>,
+    quick: bool,
     command: String,
 }
 
@@ -37,7 +40,8 @@ fn usage() -> ! {
         "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
          experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
          scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
-         staleness audit drift chaos resume trace health tier-flattening markup-baseline upload-consistency robustness policy lint"
+         staleness audit drift chaos resume trace health tier-flattening markup-baseline upload-consistency robustness policy lint\n\
+         bench [--quick]   determinism [--threads N]"
     );
     std::process::exit(2);
 }
@@ -49,6 +53,7 @@ fn parse_args() -> Args {
         seed: 1,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         out: None,
+        quick: false,
         command: String::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -72,6 +77,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--quick" => args.quick = true,
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
                 args.command = cmd.to_string()
@@ -133,11 +139,51 @@ fn run_lint() -> ! {
     std::process::exit(if outcome.is_clean() { 0 } else { 1 });
 }
 
+/// Runs the five-bench perf trajectory and writes the committed record
+/// (`BENCH_pr6.json` at the workspace root unless `--out` overrides it).
+fn run_bench(args: &Args) -> ! {
+    let json = bench::perf::bench(args.quick);
+    let path = match &args.out {
+        Some(path) => std::path::PathBuf::from(path),
+        None => {
+            let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+            divide_lint::discover_root(here)
+                .unwrap_or_else(|| std::path::PathBuf::from("."))
+                .join("BENCH_pr6.json")
+        }
+    };
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    print!("{json}");
+    eprintln!("[repro] wrote {}", path.display());
+    std::process::exit(0);
+}
+
+/// Prints one content hash per campaign artifact from a journaled
+/// curation at `--threads N`; outputs at different thread counts must be
+/// byte-identical (CI diffs them).
+fn run_determinism(args: &Args) -> ! {
+    let report = bench::perf::determinism(args.seed, args.threads);
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("[repro] wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
 
     if args.command == "lint" {
         run_lint();
+    }
+    if args.command == "bench" {
+        run_bench(&args);
+    }
+    if args.command == "determinism" {
+        run_determinism(&args);
     }
 
     // Static and self-contained experiments need no study run.

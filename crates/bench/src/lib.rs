@@ -4,6 +4,8 @@
 //!   cities, in parallel, at a configurable sampling scale;
 //! * [`experiments`] — one function per paper table/figure, each returning a
 //!   plain-text report with the same rows/series the paper plots;
+//! * [`perf`] — the committed perf trajectory (`repro bench` →
+//!   `BENCH_prN.json`) and the cross-thread determinism probe;
 //! * the `repro` binary dispatches to them (`repro --help`);
 //! * `benches/` holds the Criterion micro-benchmarks for the
 //!   performance-sensitive components (matcher, Moran's I, KS, framing,
@@ -11,6 +13,7 @@
 
 pub mod experiments;
 pub mod experiments_ext;
+pub mod perf;
 pub mod study;
 
 pub use study::{run_study, Scale, StudyDataset};

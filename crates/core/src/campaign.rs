@@ -32,6 +32,7 @@ use crate::journal::{CampaignManifest, Journal, JournalError};
 use crate::monitor::{CampaignMonitor, MonitorPolicy};
 use crate::orchestrator::{Orchestrator, OrchestratorReport};
 use crate::retry::RetryPolicy;
+use crate::shard::{self, ShardEnv, ShardPlan, ShardSpec, ShardedOutcome};
 use crate::shed::ShedPolicy;
 use crate::telemetry::{Recorder, Telemetry};
 use bbsim_net::{IpPool, SimDuration, SimTime, Transport};
@@ -44,6 +45,7 @@ pub struct Campaign<'a> {
     crash_at: Option<SimTime>,
     recorders: Vec<&'a mut dyn Recorder>,
     monitor: Option<MonitorPolicy>,
+    threads: usize,
 }
 
 impl<'a> Campaign<'a> {
@@ -63,6 +65,7 @@ impl<'a> Campaign<'a> {
             crash_at: None,
             recorders: Vec::new(),
             monitor: None,
+            threads: 1,
         }
     }
 
@@ -138,6 +141,15 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// OS threads a sharded run ([`run_sharded`](Self::run_sharded)) may
+    /// use. Purely a scheduling knob: the output is byte-identical for
+    /// every value (the shard *plan* fixes the partition). Ignored by the
+    /// single-threaded [`run`](Self::run).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// The campaign identity a journaled run of `jobs` would bind.
     pub fn manifest(&self, jobs: &[QueryJob]) -> CampaignManifest {
         self.orch.manifest(&self.config, jobs)
@@ -168,6 +180,7 @@ impl<'a> Campaign<'a> {
             crash_at,
             recorders,
             monitor,
+            threads: _,
         } = self;
         if let Some(j) = journal.as_deref_mut() {
             j.bind_manifest(orch.manifest(&config, jobs))?;
@@ -185,6 +198,60 @@ impl<'a> Campaign<'a> {
                 None => CampaignOutcome::Crashed,
             },
         )
+    }
+
+    /// Runs the campaign split into `plan`'s shards on up to
+    /// [`threads`](Self::threads) OS threads, merging the shard streams
+    /// back into the canonical `(at, seq)` event order.
+    ///
+    /// Each shard runs under its own environment from `make_env` — a fresh
+    /// hermetic transport, IP pool, and (for crash-recoverable campaigns)
+    /// its own journal segment — its own virtual clock starting at zero,
+    /// and the shard seed from the plan. Because shards share nothing and
+    /// the merge orders by `(at, seq)` with shard-namespaced `seq`s, the
+    /// merged stream — and everything derived from it — is byte-identical
+    /// for every thread count.
+    ///
+    /// Attached recorders replay the *merged* stream after all shards
+    /// finish, so a [`JsonlRecorder`](crate::telemetry::JsonlRecorder)
+    /// here writes the canonical `events.jsonl` directly.
+    ///
+    /// # Panics
+    /// If a campaign-level [`journal`](Self::journal) is attached: sharded
+    /// runs journal per shard, through [`ShardEnv::journal`].
+    pub fn run_sharded(
+        self,
+        plan: &ShardPlan,
+        make_env: &(dyn Fn(&ShardSpec) -> Result<ShardEnv, JournalError> + Sync),
+    ) -> Result<ShardedOutcome, JournalError> {
+        let Campaign {
+            orch,
+            config,
+            journal,
+            crash_at,
+            mut recorders,
+            monitor,
+            threads,
+        } = self;
+        assert!(
+            journal.is_none(),
+            "sharded campaigns journal per shard: supply segments via make_env, \
+             not Campaign::journal"
+        );
+        let template = shard::ShardTemplate {
+            orch: &orch,
+            config: &config,
+            monitor: monitor.as_ref(),
+            crash_at,
+        };
+        let shards = shard::execute(&template, plan, threads, make_env)?;
+        let events = shard::merge_events(&shards);
+        for event in &events {
+            for recorder in recorders.iter_mut() {
+                recorder.record(event);
+            }
+        }
+        Ok(ShardedOutcome { shards, events })
     }
 }
 

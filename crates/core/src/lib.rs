@@ -28,6 +28,10 @@
 //! * [`campaign`] — the [`Campaign`] builder, the one entry point that
 //!   composes orchestration, journaling, simulated crashes and telemetry
 //!   recorders into a run;
+//! * [`shard`] — multi-core campaigns: a fixed city×ISP partition into
+//!   shards (own virtual clock, hermetic RNG stream and telemetry `seq`
+//!   namespace each) executed on OS threads, with a watermark `(at, seq)`
+//!   merge that keeps every artifact byte-identical to `threads = 1`;
 //! * [`monitor`] — live campaign health over the telemetry stream:
 //!   sliding-window aggregation, SLO alerting with hysteresis, Prometheus
 //!   text exposition and a virtual-clock phase profiler;
@@ -48,6 +52,7 @@ pub mod monitor;
 pub mod orchestrator;
 pub mod retry;
 pub mod scrape;
+pub mod shard;
 pub mod shed;
 pub mod strawman;
 pub mod telemetry;
@@ -65,6 +70,10 @@ pub use monitor::{
 pub use orchestrator::{DeadLetter, Orchestrator, OrchestratorReport, ResumeStats};
 pub use retry::{is_retryable, BackoffPolicy, BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use scrape::{DetectedPage, ScrapedPlan, TemplateSet};
+pub use shard::{
+    merge_events, merge_seq_streams, seq_counter, seq_shard, shard_seq, SeqEvent, ShardEnv,
+    ShardPlan, ShardRecorder, ShardRun, ShardSpec, ShardedOutcome,
+};
 pub use shed::{ShedController, ShedDecision, ShedPolicy};
 pub use telemetry::{
     Event, EventKind, JsonlRecorder, MetricsAggregator, Recorder, RingRecorder, Telemetry,

@@ -34,19 +34,20 @@
 //! resume half of that guarantee.
 
 mod expo;
+mod merge;
 mod profile;
 mod slo;
 mod window;
 
 pub use expo::{render_folded, render_prometheus, CampaignSection};
+pub use merge::{advances_watermark, WatermarkHeap};
 pub use slo::{Alert, SloRule, SloSignal};
 pub use window::{EndpointWindow, WindowSnapshot};
 
 use crate::telemetry::{Event, EventKind};
 use bbsim_net::{SimDuration, SimTime};
 use slo::SloEngine;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 /// Configuration for a campaign's live monitor.
 #[derive(Debug, Clone)]
@@ -152,56 +153,14 @@ impl HealthReport {
     }
 }
 
-/// A stable event waiting in the time-ordering heap.
-struct HeapEntry {
-    at_ms: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at_ms == other.at_ms && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we pop earliest-first.
-        (other.at_ms, other.seq).cmp(&(self.at_ms, self.seq))
-    }
-}
-
-/// Whether this kind is emitted at the event loop's current time (so its
-/// timestamp is a lower bound for everything still unemitted). End-of-
-/// attempt kinds are stamped in the *future* and must wait in the heap.
-fn advances_watermark(kind: &EventKind) -> bool {
-    matches!(
-        kind,
-        EventKind::CampaignBegin { .. }
-            | EventKind::WorkerBegin { .. }
-            | EventKind::JobBegin { .. }
-            | EventKind::AttemptBegin { .. }
-            | EventKind::BreakerDefer { .. }
-            | EventKind::WorkerEnd { .. }
-            | EventKind::CampaignEnd { .. }
-    )
-}
-
 /// The live monitor: windows, SLO engine and profiler over one campaign.
 pub struct CampaignMonitor {
     policy: MonitorPolicy,
     window: window::SlidingWindow,
     engine: SloEngine,
     profiler: profile::PhaseProfiler,
-    heap: BinaryHeap<HeapEntry>,
+    heap: WatermarkHeap<EventKind>,
     seq: u64,
-    watermark: u64,
     pending: Vec<Event>,
     escalation_pending: bool,
     escalations: u64,
@@ -222,9 +181,8 @@ impl CampaignMonitor {
             window,
             engine,
             profiler,
-            heap: BinaryHeap::new(),
+            heap: WatermarkHeap::new(),
             seq: 0,
-            watermark: 0,
             pending: Vec::new(),
             escalation_pending: false,
             escalations: 0,
@@ -252,25 +210,17 @@ impl CampaignMonitor {
             _ => {}
         }
         self.seq += 1;
-        self.heap.push(HeapEntry {
-            at_ms: event.at.as_millis(),
-            seq: self.seq,
-            kind: event.kind.clone(),
-        });
+        self.heap
+            .push(event.at.as_millis(), self.seq, event.kind.clone());
         if advances_watermark(&event.kind) {
-            self.watermark = self.watermark.max(event.at.as_millis());
+            self.heap.advance(event.at.as_millis());
             self.drain();
         }
     }
 
     fn drain(&mut self) {
-        while self
-            .heap
-            .peek()
-            .is_some_and(|entry| entry.at_ms <= self.watermark)
-        {
-            let Some(entry) = self.heap.pop() else { break };
-            self.process(entry.at_ms, &entry.kind);
+        while let Some((at_ms, _, kind)) = self.heap.pop_ready() {
+            self.process(at_ms, &kind);
         }
     }
 
@@ -325,7 +275,7 @@ impl CampaignMonitor {
 
     /// The window's current state (for live dashboards).
     pub fn snapshot(&self) -> WindowSnapshot {
-        self.window.snapshot(self.watermark)
+        self.window.snapshot(self.heap.watermark())
     }
 
     /// Condenses the monitor into its final report. Call after the stream
@@ -333,7 +283,7 @@ impl CampaignMonitor {
     pub fn finish(mut self) -> HealthReport {
         // Belt and braces: a truncated stream (simulated crash) may leave
         // future-stamped events queued. Fold them so nothing is lost.
-        self.watermark = u64::MAX;
+        self.heap.advance(u64::MAX);
         self.drain();
         let window = self.window.snapshot(self.makespan_ms);
         HealthReport {

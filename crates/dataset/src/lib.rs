@@ -25,5 +25,7 @@ pub mod record;
 
 pub use aggregate::{aggregate_block_groups, BlockGroupRow};
 pub use anonymize::anonymize_tag;
-pub use pipeline::{curate_city, curate_city_with_faults, CityDataset, CurationOptions};
+pub use pipeline::{
+    curate_city, curate_city_journaled, curate_city_with_faults, CityDataset, CurationOptions,
+};
 pub use record::PlanRecord;

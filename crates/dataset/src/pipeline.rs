@@ -7,9 +7,9 @@ use bbsim_census::{city_seed, CityProfile};
 use bbsim_isp::{CityWorld, Isp};
 use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, Transport};
 use bqt::{
-    render_folded, render_prometheus, BqtConfig, Campaign, CampaignSection, HealthReport, Journal,
-    JournalError, JsonlRecorder, Metrics, MonitorPolicy, Orchestrator, QueryJob, QueryOutcome,
-    ResumeStats, RetryPolicy, ShedPolicy, TelemetrySummary,
+    render_folded, render_prometheus, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder,
+    Metrics, MonitorPolicy, Orchestrator, QueryJob, QueryOutcome, ResumeStats, RetryPolicy,
+    ShardEnv, ShardPlan, ShardSpec, ShedPolicy,
 };
 use std::collections::HashMap;
 use std::fs::File;
@@ -45,6 +45,11 @@ pub struct CurationOptions {
     pub watchdog: SimDuration,
     /// Adaptive load shedding for the worker pool; `None` keeps it fixed.
     pub shed: Option<ShedPolicy>,
+    /// OS threads for journaled (sharded) curation. Purely a scheduling
+    /// knob: every artifact is byte-identical for every value (see
+    /// [`bqt::shard`]). Ignored by journal-less curation, which stays on
+    /// one thread over a single shared transport.
+    pub threads: usize,
 }
 
 impl CurationOptions {
@@ -62,6 +67,7 @@ impl CurationOptions {
             retry: None,
             watchdog: SimDuration::from_secs(300),
             shed: None,
+            threads: 1,
         }
     }
 
@@ -80,6 +86,7 @@ impl CurationOptions {
             retry: None,
             watchdog: SimDuration::from_secs(300),
             shed: None,
+            threads: 1,
         }
     }
 
@@ -169,11 +176,12 @@ fn curate_city_inner(
 
     let world = Arc::new(CityWorld::build_at(city, opts.epoch));
     let run_seed = city_seed(city.name) ^ opts.seed.rotate_left(16) ^ ((opts.epoch as u64) << 1);
-    let mut transport = if journal_dir.is_some() {
-        Transport::hermetic(run_seed)
-    } else {
-        Transport::new(run_seed)
-    };
+
+    if let Some(dir) = journal_dir {
+        return curate_city_sharded(city, opts, plan, dir, &world, run_seed);
+    }
+
+    let mut transport = Transport::new(run_seed);
     if let Some(plan) = plan {
         transport.set_fault_plan(plan);
     }
@@ -189,139 +197,151 @@ fn curate_city_inner(
     let mut records = Vec::new();
     let mut per_isp_metrics = Vec::new();
     let mut per_isp_pause = Vec::new();
-    let mut resume = ResumeStats::default();
-    // Per-ISP `(slug, telemetry, health)` for the campaign directory's
-    // `health.prom` / `profile.folded` artifacts.
-    let mut health_sections: Vec<(String, TelemetrySummary, HealthReport)> = Vec::new();
-
-    // One telemetry log per campaign directory, shared by every ISP's
-    // campaign. Stable events only: a resume must rewrite the same bytes.
-    let mut event_log = match journal_dir {
-        Some(dir) => {
-            let file = File::create(dir.join("events.jsonl"))
-                .map_err(|e| JournalError::Io(e.to_string()))?;
-            Some(JsonlRecorder::stable(BufWriter::new(file)))
-        }
-        None => None,
-    };
 
     for isp in world.isps() {
-        // Calibrate the settle pause like the paper: max observed load time
-        // over a bootstrap sample.
-        let calib_lines: Vec<String> = world
-            .addresses()
-            .records()
-            .iter()
-            .take(opts.calibration_samples.max(1))
-            .map(|r| r.canonical.canonical_line())
-            .collect();
         let src = pool.next();
-        let pause =
-            bqt::client::calibrate_pause(&mut transport, isp.slug(), &calib_lines, src, run_seed);
+        let (pause, config) = calibrate_isp(&world, opts, &mut transport, isp, src, run_seed);
         per_isp_pause.push((isp, pause));
-        let mut config = BqtConfig::paper_default(pause);
-        config.measure = opts.measure;
-
-        // Sample addresses per block group (10%, floor 30, optional cap).
-        let db = world.addresses();
-        let mut jobs = Vec::new();
-        let mut tag_to_addr: HashMap<u64, u32> = HashMap::new();
-        for bg in 0..world.grid().len() {
-            let mut sampled =
-                db.sample_block_group(bg, opts.sample_rate, opts.min_samples, run_seed);
-            if let Some(cap) = opts.max_samples_per_bg {
-                sampled.truncate(cap);
-            }
-            for rec in sampled {
-                let tag = rec.id as u64;
-                tag_to_addr.insert(tag, rec.id);
-                jobs.push(QueryJob {
-                    endpoint: isp.slug().to_string(),
-                    dialect: templates::dialect_of(isp),
-                    input_line: rec.listing_line.clone(),
-                    tag,
-                });
-            }
-        }
+        let (jobs, tag_to_addr) = sample_jobs(&world, opts, isp, run_seed);
 
         // Scrape.
-        let orch = Orchestrator {
-            n_workers: opts.workers,
-            politeness: SimDuration::from_secs(5),
-            seed: run_seed ^ (isp.column() as u64),
-            retry: opts.retry,
-            watchdog: opts.watchdog,
-            shed: opts.shed,
-        };
-        let report = match journal_dir {
-            Some(dir) => {
-                let mut journal = Journal::open(&dir.join(format!("{}.journal", isp.slug())))?;
-                // The monitor's stable profile and exposition stay
-                // byte-identical across resume; `profile_fetches` would
-                // break that, so journaled curation never enables it.
-                let mut campaign = Campaign::from_orchestrator(orch)
-                    .config(config)
-                    .journal(&mut journal)
-                    .monitor(MonitorPolicy::paper_default());
-                if let Some(log) = event_log.as_mut() {
-                    campaign = campaign.recorder(log);
-                }
-                let mut report = campaign.run(&mut transport, &jobs, &mut pool)?.report();
-                resume.replayed_attempts += report.resume().replayed_attempts;
-                resume.live_attempts += report.resume().live_attempts;
-                if let Some(health) = report.health.take() {
-                    health_sections.push((
-                        isp.slug().to_string(),
-                        report.telemetry.clone(),
-                        health,
-                    ));
-                }
-                report
-            }
-            None => Campaign::from_orchestrator(orch)
-                .config(config)
-                .run(&mut transport, &jobs, &mut pool)
-                .expect("journal-less runs cannot hit journal errors")
-                .report(),
-        };
+        let report = Campaign::from_orchestrator(isp_orchestrator(opts, isp, run_seed))
+            .config(config)
+            .run(&mut transport, &jobs, &mut pool)
+            .expect("journal-less runs cannot hit journal errors")
+            .report();
 
-        // Land hits as dataset rows.
-        for qrec in &report.records {
-            let plans = match &qrec.outcome {
-                QueryOutcome::Plans(p) => p.clone(),
-                QueryOutcome::NoService => Vec::new(),
-                _ => continue,
-            };
-            let addr_id = tag_to_addr[&qrec.tag];
-            let addr = world.addresses().record(addr_id);
-            records.push(PlanRecord {
-                city: city.name.to_string(),
-                isp,
-                address_tag: qrec.tag,
-                block_group: addr.block_group,
-                bg_index: addr.bg_index,
-                plans,
-            });
-        }
+        land_records(
+            &mut records,
+            city,
+            &world,
+            isp,
+            &report.records,
+            &tag_to_addr,
+        );
         per_isp_metrics.push((isp, report.metrics));
     }
+
+    Ok((
+        CityDataset {
+            city,
+            records,
+            per_isp_metrics,
+            per_isp_pause,
+        },
+        ResumeStats::default(),
+    ))
+}
+
+/// Journaled curation, sharded per ISP: calibration runs serially upfront
+/// (it consumes the shared pool's cursor), then every ISP's campaign
+/// becomes one shard with its own hermetic environment, executed on up to
+/// `opts.threads` OS threads and merged back into `(at, seq)` order. The
+/// merged stream feeds one `events.jsonl`; `health.prom` and
+/// `profile.folded` render the shard health sections in ISP order — all
+/// three byte-identical for every thread count, and across crash+resume.
+fn curate_city_sharded(
+    city: &'static CityProfile,
+    opts: &CurationOptions,
+    plan: Option<FaultPlan>,
+    dir: &Path,
+    world: &Arc<CityWorld>,
+    run_seed: u64,
+) -> Result<(CityDataset, ResumeStats), JournalError> {
+    // The calibration transport mirrors what each shard will rebuild: the
+    // hermetic transport's draws are keyed by (seed, endpoint, ip, time),
+    // so per-shard copies answer exactly like this shared one.
+    let mut transport = Transport::hermetic(run_seed);
+    if let Some(plan) = plan.clone() {
+        transport.set_fault_plan(plan);
+    }
+    for isp in world.isps() {
+        let server = BatServer::new(isp, world.clone());
+        let net = server.profile().network_latency;
+        transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
+    }
+    let mut pool = IpPool::residential(256, RotationPolicy::RoundRobin, run_seed);
+
+    let mut per_isp_pause = Vec::new();
+    let mut specs = Vec::new();
+    let mut tag_maps: Vec<HashMap<u64, u32>> = Vec::new();
+    let isps = world.isps();
+    for (i, &isp) in isps.iter().enumerate() {
+        let src = pool.next();
+        let (pause, config) = calibrate_isp(world, opts, &mut transport, isp, src, run_seed);
+        per_isp_pause.push((isp, pause));
+        let (jobs, tag_to_addr) = sample_jobs(world, opts, isp, run_seed);
+        tag_maps.push(tag_to_addr);
+        specs.push(ShardSpec {
+            id: i as u32,
+            label: isp.slug().to_string(),
+            // The same per-ISP seed the sequential path always used, so a
+            // shard's stream (and journal) is identical to the campaign it
+            // replaces.
+            seed: run_seed ^ (isp.column() as u64),
+            config: Some(config),
+            jobs,
+        });
+    }
+    let shard_plan = ShardPlan::new(specs);
+
+    // Each shard gets a private copy of the fleet: fresh hermetic
+    // transport (same seed — draws are position-independent), fresh pool
+    // (journaled attempts assign IPs by key, never by cursor), and its own
+    // journal segment.
+    let fleet = world.clone();
+    let make_env = move |spec: &ShardSpec| -> Result<ShardEnv, JournalError> {
+        let mut transport = Transport::hermetic(run_seed);
+        if let Some(plan) = plan.clone() {
+            transport.set_fault_plan(plan);
+        }
+        for isp in fleet.isps() {
+            let server = BatServer::new(isp, fleet.clone());
+            let net = server.profile().network_latency;
+            transport.register(isp.slug(), Endpoint::new(Box::new(server), net));
+        }
+        let journal = Journal::open(&dir.join(format!("{}.journal", spec.label)))?;
+        Ok(ShardEnv {
+            transport,
+            pool: IpPool::residential(256, RotationPolicy::RoundRobin, run_seed),
+            journal: Some(journal),
+        })
+    };
+
+    // One telemetry log for the whole campaign directory, fed the merged
+    // stream. Stable events only: a resume must rewrite the same bytes.
+    let file =
+        File::create(dir.join("events.jsonl")).map_err(|e| JournalError::Io(e.to_string()))?;
+    let mut event_log = JsonlRecorder::stable(BufWriter::new(file));
+
+    // The monitor's stable profile and exposition stay byte-identical
+    // across resume; `profile_fetches` would break that, so journaled
+    // curation never enables it.
+    let outcome = Campaign::from_orchestrator(isp_orchestrator(opts, isps[0], run_seed))
+        .monitor(MonitorPolicy::paper_default())
+        .threads(opts.threads)
+        .recorder(&mut event_log)
+        .run_sharded(&shard_plan, &make_env)?;
 
     // Beside `events.jsonl`, the campaign directory gets the monitor's
     // exposition and profile — both replay-stable, so a resumed run
     // rewrites identical bytes.
-    if let Some(dir) = journal_dir {
-        let sections: Vec<CampaignSection> = health_sections
-            .iter()
-            .map(|(slug, telemetry, health)| CampaignSection {
-                label: slug,
-                telemetry,
-                health,
-            })
-            .collect();
-        std::fs::write(dir.join("health.prom"), render_prometheus(&sections))
-            .map_err(|e| JournalError::Io(e.to_string()))?;
-        std::fs::write(dir.join("profile.folded"), render_folded(&sections))
-            .map_err(|e| JournalError::Io(e.to_string()))?;
+    let sections = outcome.health_sections();
+    std::fs::write(dir.join("health.prom"), render_prometheus(&sections))
+        .map_err(|e| JournalError::Io(e.to_string()))?;
+    std::fs::write(dir.join("profile.folded"), render_folded(&sections))
+        .map_err(|e| JournalError::Io(e.to_string()))?;
+    drop(sections);
+
+    let resume = outcome.resume();
+    let mut records = Vec::new();
+    let mut per_isp_metrics = Vec::new();
+    for (run, (&isp, tag_to_addr)) in outcome.shards.into_iter().zip(isps.iter().zip(&tag_maps)) {
+        let Some(report) = run.report else {
+            unreachable!("pipeline campaigns never set a crash point")
+        };
+        land_records(&mut records, city, world, isp, &report.records, tag_to_addr);
+        per_isp_metrics.push((isp, report.metrics));
     }
 
     Ok((
@@ -333,6 +353,99 @@ fn curate_city_inner(
         },
         resume,
     ))
+}
+
+/// Calibrates one ISP's settle pause like the paper — max observed load
+/// time over a bootstrap sample — and derives its workflow config.
+fn calibrate_isp(
+    world: &Arc<CityWorld>,
+    opts: &CurationOptions,
+    transport: &mut Transport,
+    isp: Isp,
+    src: bbsim_net::SimIp,
+    run_seed: u64,
+) -> (SimDuration, BqtConfig) {
+    let calib_lines: Vec<String> = world
+        .addresses()
+        .records()
+        .iter()
+        .take(opts.calibration_samples.max(1))
+        .map(|r| r.canonical.canonical_line())
+        .collect();
+    let pause = bqt::client::calibrate_pause(transport, isp.slug(), &calib_lines, src, run_seed);
+    let mut config = BqtConfig::paper_default(pause);
+    config.measure = opts.measure;
+    (pause, config)
+}
+
+/// Samples addresses per block group (10%, floor 30, optional cap) into
+/// one ISP's job list, plus the tag → address-id map for landing records.
+fn sample_jobs(
+    world: &Arc<CityWorld>,
+    opts: &CurationOptions,
+    isp: Isp,
+    run_seed: u64,
+) -> (Vec<QueryJob>, HashMap<u64, u32>) {
+    let db = world.addresses();
+    let mut jobs = Vec::new();
+    let mut tag_to_addr: HashMap<u64, u32> = HashMap::new();
+    for bg in 0..world.grid().len() {
+        let mut sampled = db.sample_block_group(bg, opts.sample_rate, opts.min_samples, run_seed);
+        if let Some(cap) = opts.max_samples_per_bg {
+            sampled.truncate(cap);
+        }
+        for rec in sampled {
+            let tag = rec.id as u64;
+            tag_to_addr.insert(tag, rec.id);
+            jobs.push(QueryJob {
+                endpoint: isp.slug().to_string(),
+                dialect: templates::dialect_of(isp),
+                input_line: rec.listing_line.clone(),
+                tag,
+            });
+        }
+    }
+    (jobs, tag_to_addr)
+}
+
+/// The per-ISP orchestration parameters every curation mode shares.
+fn isp_orchestrator(opts: &CurationOptions, isp: Isp, run_seed: u64) -> Orchestrator {
+    Orchestrator {
+        n_workers: opts.workers,
+        politeness: SimDuration::from_secs(5),
+        seed: run_seed ^ (isp.column() as u64),
+        retry: opts.retry,
+        watchdog: opts.watchdog,
+        shed: opts.shed,
+    }
+}
+
+/// Lands one campaign's hits as dataset rows.
+fn land_records(
+    records: &mut Vec<PlanRecord>,
+    city: &'static CityProfile,
+    world: &Arc<CityWorld>,
+    isp: Isp,
+    qrecords: &[bqt::QueryRecord],
+    tag_to_addr: &HashMap<u64, u32>,
+) {
+    for qrec in qrecords {
+        let plans = match &qrec.outcome {
+            QueryOutcome::Plans(p) => p.clone(),
+            QueryOutcome::NoService => Vec::new(),
+            _ => continue,
+        };
+        let addr_id = tag_to_addr[&qrec.tag];
+        let addr = world.addresses().record(addr_id);
+        records.push(PlanRecord {
+            city: city.name.to_string(),
+            isp,
+            address_tag: qrec.tag,
+            block_group: addr.block_group,
+            bg_index: addr.bg_index,
+            plans,
+        });
+    }
 }
 
 #[cfg(test)]

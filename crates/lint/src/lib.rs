@@ -174,6 +174,7 @@ impl Config {
                 "crates/core/src/journal.rs".into(),
                 "crates/core/src/telemetry/".into(),
                 "crates/core/src/monitor/".into(),
+                "crates/core/src/shard.rs".into(),
                 "crates/dataset/src/".into(),
             ],
             // Supervision paths: a panic here takes down a campaign (or a

@@ -84,6 +84,66 @@ fn d3_allows_totals_suppressions_and_tests() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+// ---- shard merge hazards (D1 + D2 on the same code shape) -----------
+
+/// The known-bad shard merge trips both rules: wall-clock stamps (D1)
+/// and hash-order iteration over per-shard streams (D2).
+#[test]
+fn shard_fixture_flags_wall_clock_and_unordered_merge() {
+    let findings = run(|c| {
+        c.d1_scopes = vec!["shard/bad.rs".into()];
+        c.d2_scopes = vec!["shard/bad.rs".into()];
+    });
+    let d1: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::D1).collect();
+    let d2: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::D2).collect();
+    assert_eq!(d1.len() + d2.len(), findings.len(), "{findings:?}");
+    assert_eq!(d1.len(), 2, "{d1:?}");
+    assert!(d1
+        .iter()
+        .any(|f| f.message.contains("import of `std::time::Instant`")));
+    assert!(d1
+        .iter()
+        .any(|f| f.message.contains("wall-clock read `Instant::now()`")));
+    assert_eq!(d2.len(), 2, "{d2:?}");
+    assert!(d2.iter().any(|f| f.message.contains("`for-in`")));
+    assert!(d2.iter().any(|f| f.message.contains("`values`")));
+    assert!(d2.iter().all(|f| f.message.contains("`streams`")));
+}
+
+/// The deterministic shape of the real merge — shard-indexed `Vec`s,
+/// virtual stamps, keyed hash lookups, one justified suppression — passes
+/// both rules clean.
+#[test]
+fn shard_fixture_clean_shape_passes_both_rules() {
+    let findings = run(|c| {
+        c.d1_scopes = vec!["shard/clean.rs".into()];
+        c.d2_scopes = vec!["shard/clean.rs".into()];
+    });
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The dogfood gate for the new module specifically: the real
+/// `bqt::shard` passes D1 + D2 + D3 with zero findings — not even
+/// baselined ones.
+#[test]
+fn real_shard_module_is_clean_under_all_rules() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut config = Config::bare(root);
+    config.d1_scopes = vec!["crates/core/src/shard.rs".into()];
+    config.d2_scopes = vec!["crates/core/src/shard.rs".into()];
+    config.d3_scopes = vec!["crates/core/src/shard.rs".into()];
+    let findings = analyze(&config).expect("shard module analysis");
+    assert!(
+        findings.is_empty(),
+        "bqt::shard must be lint-clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 // ---- E1: telemetry exhaustiveness -----------------------------------
 
 fn e1_config(file: &str) -> divide_lint::E1Config {

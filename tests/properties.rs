@@ -505,6 +505,149 @@ proptest! {
     }
 }
 
+// ---- shard merge (differential determinism) ---------------------------
+//
+// The sharded-campaign contract reduces to one algebraic fact: merging
+// `(at, seq)`-stamped streams through the watermark heap is a function of
+// the event *set* alone — any partition into shards, pushed in any
+// interleaving, drains in the one canonical order.
+
+mod shard_merge {
+    use super::*;
+    use decoding_divide::bqt::monitor::WatermarkHeap;
+    use decoding_divide::bqt::{merge_seq_streams, shard_seq, Event, EventKind, SeqEvent};
+    use decoding_divide::net::SimTime;
+
+    /// A synthetic recorded stream: `n` events with bounded timestamps
+    /// (dense ties), assigned to shards by `assign`, with per-shard
+    /// contiguous counters — exactly how `ShardRecorder` stamps them.
+    fn stamped(at_ms: &[u64], assign: &[u8], n_shards: u8) -> Vec<Vec<SeqEvent>> {
+        let mut streams: Vec<Vec<SeqEvent>> = vec![Vec::new(); n_shards as usize];
+        for (i, (&at, &a)) in at_ms.iter().zip(assign).enumerate() {
+            let shard = (a % n_shards) as usize;
+            let counter = streams[shard].len() as u64;
+            streams[shard].push(SeqEvent {
+                seq: shard_seq(shard as u32, counter),
+                event: Event {
+                    at: SimTime::from_millis(at),
+                    kind: EventKind::WorkerBegin { worker: i as u32 },
+                },
+            });
+        }
+        streams
+    }
+
+    fn workers(events: &[Event]) -> Vec<u32> {
+        events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::WorkerBegin { worker } => worker,
+                _ => unreachable!("synthetic streams only hold WorkerBegin"),
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Any partition of the same event set merges to the order given
+        /// by sorting on `(at, seq)` — the canonical order.
+        #[test]
+        fn any_partition_reproduces_canonical_order(
+            at_ms in proptest::collection::vec(0u64..50, 1..120),
+            assign in proptest::collection::vec(any::<u8>(), 120),
+            n_shards in 1u8..6,
+        ) {
+            let streams = stamped(&at_ms, &assign, n_shards);
+            let mut expected: Vec<(u64, u64, u32)> = streams
+                .iter()
+                .flatten()
+                .map(|se| {
+                    let w = match se.event.kind {
+                        EventKind::WorkerBegin { worker } => worker,
+                        _ => unreachable!("synthetic streams only hold WorkerBegin"),
+                    };
+                    (se.event.at.as_millis(), se.seq, w)
+                })
+                .collect();
+            expected.sort();
+            let merged = merge_seq_streams(streams.iter().map(|s| s.as_slice()));
+            prop_assert_eq!(
+                workers(&merged),
+                expected.into_iter().map(|(_, _, w)| w).collect::<Vec<_>>()
+            );
+        }
+
+        /// Two different partitions (and stream orders) of the same events
+        /// merge identically: thread count and scheduling cannot matter.
+        #[test]
+        fn merge_is_partition_invariant(
+            at_ms in proptest::collection::vec(0u64..40, 1..100),
+            assign_a in proptest::collection::vec(any::<u8>(), 100),
+            assign_b in proptest::collection::vec(any::<u8>(), 100),
+            shards_a in 1u8..6,
+            shards_b in 1u8..6,
+        ) {
+            // Both partitions must namespace by a *global* canonical seq —
+            // per-partition counters would name different totals. Use the
+            // event index as the canonical seq for both.
+            let stamp = |assign: &[u8], n: u8| -> Vec<Vec<SeqEvent>> {
+                let mut streams: Vec<Vec<SeqEvent>> = vec![Vec::new(); n as usize];
+                for (i, (&at, &a)) in at_ms.iter().zip(assign).enumerate() {
+                    streams[(a % n) as usize].push(SeqEvent {
+                        seq: i as u64,
+                        event: Event {
+                            at: SimTime::from_millis(at),
+                            kind: EventKind::WorkerBegin { worker: i as u32 },
+                        },
+                    });
+                }
+                streams
+            };
+            let a = stamp(&assign_a, shards_a);
+            let b = stamp(&assign_b, shards_b);
+            let merged_a = merge_seq_streams(a.iter().map(|s| s.as_slice()));
+            let merged_b = merge_seq_streams(b.iter().rev().map(|s| s.as_slice()));
+            prop_assert_eq!(workers(&merged_a), workers(&merged_b));
+        }
+
+        /// The watermark gate never releases an entry stamped beyond the
+        /// watermark, and always drains ready entries in `(at, seq)` order
+        /// no matter how pushes and advances interleave.
+        #[test]
+        fn watermark_heap_respects_gate_and_order(
+            ops in proptest::collection::vec((0u64..100, any::<bool>()), 1..80),
+        ) {
+            let mut heap: WatermarkHeap<u64> = WatermarkHeap::new();
+            let mut popped: Vec<(u64, u64)> = Vec::new();
+            for (seq, &(at, advance)) in ops.iter().enumerate() {
+                if advance {
+                    heap.advance(at);
+                } else {
+                    heap.push(at, seq as u64, seq as u64);
+                }
+                while let Some((at_ms, seq, _)) = heap.pop_ready() {
+                    prop_assert!(at_ms <= heap.watermark(), "gate violated");
+                    popped.push((at_ms, seq));
+                }
+            }
+            heap.advance(u64::MAX);
+            while let Some((at_ms, seq, _)) = heap.pop_ready() {
+                popped.push((at_ms, seq));
+            }
+            prop_assert!(heap.is_empty(), "flush drains everything");
+            // Entries released in the same gate window come out sorted;
+            // across windows, later releases may carry earlier stamps only
+            // if they were pushed after the gate passed them — but a seq
+            // released earlier with an equal stamp must precede.
+            for w in popped.windows(2) {
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 != w[1].1, "seqs are unique");
+                }
+            }
+            prop_assert_eq!(popped.len(), ops.iter().filter(|(_, a)| !a).count());
+        }
+    }
+}
+
 // Non-proptest cross-crate invariants that complete the suite.
 
 #[test]

@@ -10,7 +10,7 @@
 use decoding_divide::bat::{templates, BatServer};
 use decoding_divide::bqt::{
     BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, Orchestrator, OrchestratorReport,
-    QueryJob, QueryOutcome, RetryPolicy, ShedPolicy,
+    QueryJob, QueryOutcome, RetryPolicy, ShardEnv, ShardPlan, ShardSpec, ShedPolicy,
 };
 use decoding_divide::census::city_by_name;
 use decoding_divide::isp::{CityWorld, Isp};
@@ -398,6 +398,126 @@ fn load_shedding_strictly_reduces_dead_letters_under_a_storm() {
     );
     // Exactly-once still holds under shedding.
     assert_eq!(shed.records.len(), unshed.records.len());
+}
+
+/// Sharded crash+resume: a `threads=4` campaign killed at three spread-out
+/// crash points, resumed with a *different* thread count, must reproduce
+/// an uninterrupted single-thread run byte-for-byte — per-shard reports
+/// and the merged stable event log alike. Per-shard journal segments live
+/// on disk so only their bytes survive the "reboot".
+#[test]
+fn sharded_crash_resume_is_byte_identical_across_thread_counts() {
+    let seed = 49 ^ chaos_seed().rotate_left(24);
+    let world = Arc::new(CityWorld::build(city_by_name("Billings").unwrap()));
+    let jobs: Vec<QueryJob> = world
+        .addresses()
+        .records()
+        .iter()
+        .take(N_JOBS)
+        .map(|r| QueryJob {
+            endpoint: ENDPOINT.to_string(),
+            dialect: templates::dialect_of(Isp::CenturyLink),
+            input_line: r.listing_line.clone(),
+            tag: r.id as u64,
+        })
+        .collect();
+    // Four shards over one endpoint: striping forces cross-shard merge
+    // ties while the flaky fault plan keeps retries in play.
+    let shard_plan = ShardPlan::round_robin(seed, &jobs, 4);
+
+    let base = std::env::temp_dir().join(format!("bqt-shard-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let make_env = |dir: std::path::PathBuf| {
+        let world = world.clone();
+        move |spec: &ShardSpec| -> Result<ShardEnv, JournalError> {
+            let mut t = Transport::hermetic(seed);
+            t.set_fault_plan(plan(seed));
+            let server = BatServer::new(Isp::CenturyLink, world.clone());
+            let net = server.profile().network_latency;
+            t.register(ENDPOINT, Endpoint::new(Box::new(server), net));
+            std::fs::create_dir_all(&dir).map_err(|e| JournalError::Io(e.to_string()))?;
+            Ok(ShardEnv {
+                transport: t,
+                pool: pool(seed),
+                journal: Some(Journal::open(&dir.join(format!("{}.journal", spec.label)))?),
+            })
+        }
+    };
+
+    // Ground truth: uninterrupted, single-threaded.
+    let mut truth_log = JsonlRecorder::stable(Vec::new());
+    let truth = Campaign::from_orchestrator(orch(seed))
+        .config(config())
+        .threads(1)
+        .recorder(&mut truth_log)
+        .run_sharded(&shard_plan, &make_env(base.join("truth")))
+        .unwrap();
+    assert!(!truth.crashed());
+    let truth_jsonl = String::from_utf8(truth_log.into_inner()).unwrap();
+    assert!(!truth_jsonl.is_empty());
+    let span = truth
+        .reports()
+        .map(|(_, r)| r.makespan.as_millis())
+        .max()
+        .unwrap();
+
+    for (i, pct) in [15u64, 50, 85].iter().enumerate() {
+        let dir = base.join(format!("crash-{i}"));
+        let crash_at = SimTime::from_millis(span * pct / 100);
+
+        // Crash a 4-thread run mid-campaign.
+        let crashed = Campaign::from_orchestrator(orch(seed))
+            .config(config())
+            .threads(4)
+            .crash_at(crash_at)
+            .run_sharded(&shard_plan, &make_env(dir.clone()))
+            .unwrap();
+        assert!(crashed.crashed(), "crash point {i} landed early enough");
+        let journaled: u64 = crashed
+            .shards
+            .iter()
+            .map(|s| {
+                s.env
+                    .journal
+                    .as_ref()
+                    .map(|j| j.attempts().len() as u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+
+        // Resume over the surviving segments with a different thread
+        // count.
+        let mut resumed_log = JsonlRecorder::stable(Vec::new());
+        let resumed = Campaign::from_orchestrator(orch(seed))
+            .config(config())
+            .threads(2)
+            .recorder(&mut resumed_log)
+            .run_sharded(&shard_plan, &make_env(dir))
+            .unwrap();
+        assert!(!resumed.crashed(), "resume runs to completion (crash {i})");
+        assert_eq!(
+            resumed.resume().replayed_attempts,
+            journaled,
+            "every journaled attempt replays, none re-scrape (crash {i})"
+        );
+
+        for (t_run, r_run) in truth.shards.iter().zip(&resumed.shards) {
+            assert_eq!(t_run.label, r_run.label);
+            let (a, b) = (
+                t_run.report.as_ref().unwrap(),
+                r_run.report.as_ref().unwrap(),
+            );
+            assert_reports_identical(a, b);
+        }
+        let resumed_jsonl = String::from_utf8(resumed_log.into_inner()).unwrap();
+        assert_eq!(
+            truth_jsonl, resumed_jsonl,
+            "stable event log retraces byte-for-byte across a sharded crash (crash {i})"
+        );
+    }
+
+    std::fs::remove_dir_all(&base).unwrap();
 }
 
 #[test]
