@@ -20,11 +20,13 @@
 //!   paper's hit rates and query-time distributions (Fig. 2)
 //!   ([`profile`]).
 
+pub mod drift;
 pub mod index;
 pub mod profile;
 pub mod server;
 pub mod templates;
 
+pub use drift::DriftSchedule;
 pub use index::AddressIndex;
 pub use profile::ServerProfile;
 pub use server::BatServer;

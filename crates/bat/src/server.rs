@@ -14,6 +14,7 @@
 //! a cookie presented more than its budget is blocked with HTTP 403, and a
 //! source IP exceeding the sliding-window rate limit receives HTTP 429.
 
+use crate::drift::DriftSchedule;
 use crate::index::AddressIndex;
 use crate::profile::ServerProfile;
 use crate::templates;
@@ -51,6 +52,8 @@ pub struct BatServer {
     pub blocked_requests: u64,
     /// Front-end markup generation (a redesign breaks unprepared clients).
     template_version: TemplateVersion,
+    /// When set, redesigns deploy themselves on the virtual clock.
+    drift: Option<DriftSchedule>,
 }
 
 /// Stable salted hash for per-address behaviour draws.
@@ -87,6 +90,7 @@ impl BatServer {
             next_session: 0,
             blocked_requests: 0,
             template_version: TemplateVersion::V1,
+            drift: None,
         }
     }
 
@@ -99,6 +103,13 @@ impl BatServer {
     /// The currently deployed markup generation.
     pub fn template_version(&self) -> TemplateVersion {
         self.template_version
+    }
+
+    /// Attaches a drift schedule: each request re-resolves the deployed
+    /// generation from the virtual clock, so redesigns land mid-campaign
+    /// without anyone calling [`Self::set_template_version`].
+    pub fn set_drift_schedule(&mut self, schedule: DriftSchedule) {
+        self.drift = Some(schedule);
     }
 
     pub fn isp(&self) -> Isp {
@@ -228,6 +239,11 @@ impl BatServer {
 
 impl Service for BatServer {
     fn handle(&mut self, peer: SimIp, req: &Request, now: SimTime, rng: &mut StdRng) -> Exchange {
+        // A scheduled redesign deploys the instant the clock reaches it.
+        if let Some(schedule) = &self.drift {
+            self.template_version = schedule.version_at(now);
+        }
+
         // Safeguard 1: per-IP rate limiting.
         if self.rate_limited(peer, now) {
             self.blocked_requests += 1;
@@ -605,6 +621,23 @@ mod tests {
             .handle(ip(4), &Request::get("/whatever"), SimTime::ZERO, &mut rng)
             .response;
         assert_eq!(r2.status, Status::NotFound);
+    }
+
+    #[test]
+    fn drift_schedule_redeploys_on_the_virtual_clock() {
+        let mut s = server();
+        s.profile.transient_failure_rate = 0.0;
+        s.set_drift_schedule(DriftSchedule::flip_at(
+            SimTime::from_millis(300_000),
+            TemplateVersion::V2,
+        ));
+        let world = s.world.clone();
+        let line = world.addresses().records()[0].canonical.canonical_line();
+        let before = locate(&mut s, &line, ip(0), 0);
+        assert_eq!(s.template_version(), TemplateVersion::V1);
+        let after = locate(&mut s, &line, ip(1), 400);
+        assert_eq!(s.template_version(), TemplateVersion::V2);
+        assert_ne!(before.body, after.body, "redesign changes the markup");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   table1 table2 table3
 //!   fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b
 //!   scaling strawman ablation-matcher ablation-wait ablation-sampling
-//!   staleness audit drift chaos resume trace health tier-flattening
+//!   staleness audit drift chaos resume trace health longitudinal tier-flattening
 //!   markup-baseline upload-consistency robustness policy release
 //!   lint       run divide-lint against the committed baseline
 //!   bench      run the perf trajectory, write BENCH_pr6.json ([--quick])
@@ -40,7 +40,7 @@ fn usage() -> ! {
         "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
          experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
          scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
-         staleness audit drift chaos resume trace health tier-flattening markup-baseline upload-consistency robustness policy lint\n\
+         staleness audit drift chaos resume trace health longitudinal tier-flattening markup-baseline upload-consistency robustness policy lint\n\
          bench [--quick]   determinism [--threads N]"
     );
     std::process::exit(2);
@@ -203,6 +203,7 @@ fn main() {
             | "resume"
             | "trace"
             | "health"
+            | "longitudinal"
     );
 
     let study = if needs_study {
@@ -252,6 +253,7 @@ fn main() {
         "resume" => ext::resume(args.seed),
         "trace" => ext::trace(args.seed),
         "health" => ext::health(args.seed),
+        "longitudinal" => ext::longitudinal(args.seed, args.threads),
         "tier-flattening" => ext::tier_flattening_report(study.expect("study")),
         "markup-baseline" => ext::markup_baseline(study.expect("study")),
         "upload-consistency" => ext::upload_consistency_report(study.expect("study")),

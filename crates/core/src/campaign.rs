@@ -27,6 +27,7 @@
 //! event stream (see [`telemetry`](crate::telemetry)).
 
 use crate::client::BqtConfig;
+use crate::drift::DriftMonitor;
 use crate::driver::QueryJob;
 use crate::journal::{CampaignManifest, Journal, JournalError};
 use crate::monitor::{CampaignMonitor, MonitorPolicy};
@@ -102,6 +103,20 @@ impl<'a> Campaign<'a> {
     /// Enables AIMD load shedding under `policy`.
     pub fn shedding(mut self, policy: ShedPolicy) -> Self {
         self.orch.shed = Some(policy);
+        self
+    }
+
+    /// Arms the template-drift watch: each endpoint gets its own clone of
+    /// `monitor`; when an endpoint's window flags, it is quarantined, a
+    /// probe burst re-learns its templates through
+    /// [`learn_template_set`](crate::scrape::learn_template_set), and the
+    /// swap applies to every later attempt. Swaps are journaled
+    /// write-ahead, so a crashed-and-resumed campaign replays them
+    /// byte-identically without re-probing. Drift progress lands in
+    /// [`OrchestratorReport::drift`] and the `drift_suspected` /
+    /// `rebootstrap_*` events reach every recorder and the health monitor.
+    pub fn drift_monitor(mut self, monitor: DriftMonitor) -> Self {
+        self.orch.drift = Some(monitor);
         self
     }
 
@@ -252,6 +267,25 @@ impl<'a> Campaign<'a> {
             }
         }
         Ok(ShardedOutcome { shards, events })
+    }
+
+    /// Runs `n` longitudinal waves of one campaign family, epoch by epoch.
+    ///
+    /// A longitudinal study re-runs the same campaign against a world
+    /// that evolves between waves (`CityWorld::build_at(city, epoch)`:
+    /// fiber builds out, cable reprices). Each wave owns a fresh
+    /// environment —
+    /// worlds, transports and pools cannot be reused across epochs — so
+    /// the closure receives the epoch number (`0..n`), builds that
+    /// epoch's world and campaign, runs it, and returns whatever the
+    /// study keeps per wave (typically the report plus a curated
+    /// snapshot). Results come back in epoch order; a wave's journal
+    /// error aborts the remaining epochs.
+    pub fn epochs<T>(
+        n: u32,
+        wave: impl FnMut(u32) -> Result<T, JournalError>,
+    ) -> Result<Vec<T>, JournalError> {
+        (0..n).map(wave).collect()
     }
 }
 

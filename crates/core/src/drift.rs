@@ -77,6 +77,36 @@ impl DriftMonitor {
     }
 }
 
+/// What a campaign's drift watch saw end to end: the summary surfaced as
+/// [`OrchestratorReport::drift`](crate::orchestrator::OrchestratorReport::drift)
+/// when [`Campaign::drift_monitor`](crate::Campaign::drift_monitor) is
+/// armed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftReport {
+    /// Unrecognized-page sightings summed over every endpoint.
+    pub total_sightings: u64,
+    /// Final windowed drift rate per endpoint, in endpoint order.
+    pub per_endpoint: Vec<(String, f64)>,
+    /// Quarantine → re-bootstrap cycles performed per endpoint.
+    pub rebootstraps: Vec<(String, u32)>,
+}
+
+impl DriftReport {
+    /// Campaign-wide drift rate: the mean of the endpoints' final
+    /// windowed rates (zero when nothing was observed).
+    pub fn drift_rate(&self) -> f64 {
+        if self.per_endpoint.is_empty() {
+            return 0.0;
+        }
+        self.per_endpoint.iter().map(|(_, r)| r).sum::<f64>() / self.per_endpoint.len() as f64
+    }
+
+    /// Re-bootstrap cycles summed over endpoints.
+    pub fn total_rebootstraps(&self) -> u64 {
+        self.rebootstraps.iter().map(|(_, n)| *n as u64).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,8 @@
 //!            steps u32, flags u8 (bit 0: saw_unrecognized_page),
 //!            outcome u8, then for Plans: n u32, n × 3 f64 bit patterns
 //!            (download, upload, price)
+//! kind 3   = template re-bootstrap: endpoint len u32 + UTF-8 bytes,
+//!            occurrence u32, generation u32, confidence_pct u32
 //! ```
 //!
 //! The first frame must be the manifest; it pins the campaign identity
@@ -53,6 +55,7 @@ pub const MAGIC: [u8; 4] = *b"BQJ1";
 
 const KIND_MANIFEST: u8 = 1;
 const KIND_ATTEMPT: u8 = 2;
+const KIND_REBOOTSTRAP: u8 = 3;
 
 /// Typed journal failures. Corrupt input is reported, never panicked on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -339,11 +342,65 @@ impl AttemptEntry {
     }
 }
 
+/// One journaled template re-bootstrap: the swap learned for an
+/// endpoint's `occurrence`-th quarantine. A resumed run that re-derives
+/// the same quarantine applies this swap directly instead of re-probing,
+/// so crash + resume mid-drift stays byte-identical without replaying
+/// probe traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebootstrapEntry {
+    /// The quarantined endpoint.
+    pub endpoint: String,
+    /// 1-based quarantine number for this endpoint within the campaign.
+    pub occurrence: u32,
+    /// Learned template generation (1-based index into
+    /// [`GENERATIONS`](crate::scrape::GENERATIONS); 0 means the probe
+    /// burst learned nothing and the current templates were kept).
+    pub generation: u32,
+    /// Fraction of the probe burst the learned templates recognized, in
+    /// whole percent.
+    pub confidence_pct: u32,
+}
+
+impl RebootstrapEntry {
+    fn encode(&self) -> Vec<u8> {
+        let name = self.endpoint.as_bytes();
+        let mut buf = Vec::with_capacity(1 + 4 + name.len() + 4 * 3);
+        buf.push(KIND_REBOOTSTRAP);
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.extend_from_slice(&self.occurrence.to_le_bytes());
+        buf.extend_from_slice(&self.generation.to_le_bytes());
+        buf.extend_from_slice(&self.confidence_pct.to_le_bytes());
+        buf
+    }
+
+    fn decode(frame: usize, payload: &[u8]) -> Result<Self, JournalError> {
+        let malformed = |what| JournalError::Malformed { frame, what };
+        let body = &payload[1..];
+        let name_len = read_u32_le(frame, body, 0, "rebootstrap endpoint length")? as usize;
+        let name_end = 4 + name_len;
+        if body.len() != name_end + 4 * 3 {
+            return Err(malformed("rebootstrap length"));
+        }
+        let endpoint = std::str::from_utf8(&body[4..name_end])
+            .map_err(|_| malformed("rebootstrap endpoint utf-8"))?
+            .to_string();
+        Ok(Self {
+            endpoint,
+            occurrence: read_u32_le(frame, body, name_end, "rebootstrap occurrence")?,
+            generation: read_u32_le(frame, body, name_end + 4, "rebootstrap generation")?,
+            confidence_pct: read_u32_le(frame, body, name_end + 8, "rebootstrap confidence")?,
+        })
+    }
+}
+
 /// One decoded journal entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Entry {
     Manifest(CampaignManifest),
     Attempt(AttemptEntry),
+    Rebootstrap(RebootstrapEntry),
 }
 
 /// Total little-endian read: a short slice is a [`JournalError::Malformed`]
@@ -393,6 +450,7 @@ fn decode_payload(frame: usize, payload: &[u8]) -> Result<Entry, JournalError> {
         }),
         Some(&KIND_MANIFEST) => CampaignManifest::decode(frame, payload).map(Entry::Manifest),
         Some(&KIND_ATTEMPT) => AttemptEntry::decode(frame, payload).map(Entry::Attempt),
+        Some(&KIND_REBOOTSTRAP) => RebootstrapEntry::decode(frame, payload).map(Entry::Rebootstrap),
         Some(&kind) => Err(JournalError::UnknownKind { frame, kind }),
     }
 }
@@ -460,8 +518,10 @@ fn scan(bytes: &[u8]) -> Result<(Vec<Entry>, usize, Option<JournalError>), Journ
         match (&entry, frame) {
             (Entry::Manifest(_), 0) => {}
             (Entry::Manifest(_), _) => return Err(JournalError::DuplicateManifest),
-            (Entry::Attempt(_), 0) => return Err(JournalError::MissingManifest),
-            (Entry::Attempt(_), _) => {}
+            (Entry::Attempt(_) | Entry::Rebootstrap(_), 0) => {
+                return Err(JournalError::MissingManifest)
+            }
+            (Entry::Attempt(_) | Entry::Rebootstrap(_), _) => {}
         }
         entries.push(entry);
         at = payload_end;
@@ -485,6 +545,9 @@ pub struct Journal {
     /// Replay index: `(tag, attempt)` → position in `attempts`.
     index: HashMap<(u64, u32), usize>,
     attempts: Vec<AttemptEntry>,
+    /// Template re-bootstraps in append order; looked up by
+    /// `(endpoint, occurrence)` on resume.
+    rebootstraps: Vec<RebootstrapEntry>,
 }
 
 impl Journal {
@@ -495,6 +558,7 @@ impl Journal {
             manifest: None,
             index: HashMap::new(),
             attempts: Vec::new(),
+            rebootstraps: Vec::new(),
         }
     }
 
@@ -528,6 +592,7 @@ impl Journal {
             manifest: None,
             index: HashMap::new(),
             attempts: Vec::new(),
+            rebootstraps: Vec::new(),
         };
         if exists {
             let mut bytes = Vec::new();
@@ -563,6 +628,7 @@ impl Journal {
                     self.index.insert((a.tag, a.attempt), self.attempts.len());
                     self.attempts.push(a);
                 }
+                Entry::Rebootstrap(r) => self.rebootstraps.push(r),
             }
         }
     }
@@ -641,15 +707,40 @@ impl Journal {
         Ok(())
     }
 
+    /// Appends one completed template re-bootstrap, flushed like an
+    /// attempt: written ahead of applying the swap to the report.
+    pub fn append_rebootstrap(&mut self, entry: RebootstrapEntry) -> Result<(), JournalError> {
+        assert!(
+            self.manifest.is_some(),
+            "bind_manifest must precede appends"
+        );
+        self.write_frame(&entry.encode())?;
+        self.rebootstraps.push(entry);
+        Ok(())
+    }
+
     /// Looks up the journaled result of `(tag, attempt)`, if that attempt
     /// finished before the crash.
     pub fn replay(&self, tag: u64, attempt: u32) -> Option<&AttemptEntry> {
         self.index.get(&(tag, attempt)).map(|&i| &self.attempts[i])
     }
 
+    /// Looks up the journaled swap for `endpoint`'s `occurrence`-th
+    /// quarantine, if it completed before the crash.
+    pub fn rebootstrap(&self, endpoint: &str, occurrence: u32) -> Option<&RebootstrapEntry> {
+        self.rebootstraps
+            .iter()
+            .find(|r| r.endpoint == endpoint && r.occurrence == occurrence)
+    }
+
     /// All journaled attempts in append order.
     pub fn attempts(&self) -> &[AttemptEntry] {
         &self.attempts
+    }
+
+    /// All journaled template re-bootstraps in append order.
+    pub fn rebootstraps(&self) -> &[RebootstrapEntry] {
+        &self.rebootstraps
     }
 }
 
@@ -917,6 +1008,61 @@ mod tests {
 
         std::fs::remove_file(&path).unwrap();
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    fn reboot(occurrence: u32) -> RebootstrapEntry {
+        RebootstrapEntry {
+            endpoint: "centurylink/billings".into(),
+            occurrence,
+            generation: 2,
+            confidence_pct: 95,
+        }
+    }
+
+    #[test]
+    fn rebootstraps_round_trip_and_interleave_with_attempts() {
+        let mut j = Journal::in_memory();
+        j.bind_manifest(manifest()).unwrap();
+        j.append(attempt(1, 1, QueryOutcome::Failed)).unwrap();
+        j.append_rebootstrap(reboot(1)).unwrap();
+        j.append(attempt(2, 1, QueryOutcome::NoService)).unwrap();
+        j.append_rebootstrap(reboot(2)).unwrap();
+        let bytes = j.bytes().unwrap().to_vec();
+        let back = Journal::from_bytes(&bytes).unwrap();
+        assert_eq!(back.rebootstraps(), j.rebootstraps());
+        assert_eq!(back.attempts().len(), 2, "attempts survive interleaving");
+        assert_eq!(
+            back.rebootstrap("centurylink/billings", 2),
+            Some(&reboot(2))
+        );
+        assert!(back.rebootstrap("centurylink/billings", 3).is_none());
+        assert!(back.rebootstrap("cox/billings", 1).is_none());
+    }
+
+    #[test]
+    fn rebootstrap_must_follow_a_manifest() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&frame_bytes(&reboot(1).encode()));
+        assert_eq!(
+            read_entries(&bytes).unwrap_err(),
+            JournalError::MissingManifest
+        );
+    }
+
+    #[test]
+    fn malformed_rebootstrap_is_a_typed_error() {
+        let mut good = reboot(1).encode();
+        good.pop(); // truncate the confidence field
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&frame_bytes(&manifest().encode()));
+        bytes.extend_from_slice(&frame_bytes(&good));
+        assert_eq!(
+            read_entries(&bytes).unwrap_err(),
+            JournalError::Malformed {
+                frame: 1,
+                what: "rebootstrap length"
+            }
+        );
     }
 
     #[test]

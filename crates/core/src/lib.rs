@@ -59,9 +59,11 @@ pub mod telemetry;
 
 pub use campaign::{Campaign, CampaignOutcome};
 pub use client::{BqtConfig, WaitPolicy};
-pub use drift::DriftMonitor;
+pub use drift::{DriftMonitor, DriftReport};
 pub use driver::{query_address, query_address_traced, QueryJob, QueryOutcome, QueryRecord};
-pub use journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
+pub use journal::{
+    config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError, RebootstrapEntry,
+};
 pub use metrics::{HitRateReport, Metrics};
 pub use monitor::{
     render_folded, render_prometheus, Alert, CampaignSection, HealthReport, MonitorPolicy, SloRule,
@@ -69,7 +71,9 @@ pub use monitor::{
 };
 pub use orchestrator::{DeadLetter, Orchestrator, OrchestratorReport, ResumeStats};
 pub use retry::{is_retryable, BackoffPolicy, BreakerConfig, CircuitBreaker, RetryPolicy};
-pub use scrape::{DetectedPage, ScrapedPlan, TemplateSet};
+pub use scrape::{
+    learn_template_set, DetectedPage, LearnedTemplates, ScrapedPlan, TemplateSet, GENERATIONS,
+};
 pub use shard::{
     merge_events, merge_seq_streams, seq_counter, seq_shard, shard_seq, SeqEvent, ShardEnv,
     ShardPlan, ShardRecorder, ShardRun, ShardSpec, ShardedOutcome,

@@ -100,6 +100,21 @@ pub fn render_prometheus(sections: &[CampaignSection]) -> String {
     counter(&mut out, "bqt_alerts_resolved_total", sections, |s| {
         s.telemetry.alerts_resolved
     });
+    counter(&mut out, "bqt_drift_suspected_total", sections, |s| {
+        s.telemetry.drift_suspected
+    });
+    counter(&mut out, "bqt_rebootstraps_started_total", sections, |s| {
+        s.telemetry.rebootstraps_started
+    });
+    counter(&mut out, "bqt_templates_swapped_total", sections, |s| {
+        s.telemetry.templates_swapped
+    });
+    counter(
+        &mut out,
+        "bqt_rebootstraps_completed_total",
+        sections,
+        |s| s.telemetry.rebootstraps_completed,
+    );
     gauge(&mut out, "bqt_makespan_ms", sections, |s| {
         s.health.makespan_ms
     });
@@ -124,6 +139,30 @@ pub fn render_prometheus(sections: &[CampaignSection]) -> String {
                 &mut out,
                 "bqt_endpoint_hits_total{{campaign=\"{}\",endpoint=\"{endpoint}\"}} {}",
                 s.label, e.hits
+            );
+        }
+    }
+    let _ = writeln!(
+        &mut out,
+        "# TYPE bqt_endpoint_drift_suspected_total counter"
+    );
+    for s in sections {
+        for (endpoint, e) in &s.telemetry.per_endpoint {
+            let _ = writeln!(
+                &mut out,
+                "bqt_endpoint_drift_suspected_total{{campaign=\"{}\",endpoint=\"{endpoint}\"}} {}",
+                s.label, e.drift_suspected
+            );
+        }
+    }
+    let _ = writeln!(&mut out, "# TYPE bqt_endpoint_match_confidence_pct gauge");
+    for s in sections {
+        for (endpoint, e) in &s.telemetry.per_endpoint {
+            let _ = writeln!(
+                &mut out,
+                "bqt_endpoint_match_confidence_pct{{campaign=\"{}\",endpoint=\"{endpoint}\"}} {}",
+                s.label,
+                e.match_confidence_pct()
             );
         }
     }

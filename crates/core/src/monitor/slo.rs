@@ -32,6 +32,9 @@ pub enum SloSignal {
     WorkersLive,
     /// Jobs begun but unfinished (breaches above).
     QueueDepth,
+    /// Fraction of windowed attempts whose pages the template set
+    /// recognized (breaches *below* threshold) — the drift signal.
+    MatchConfidence,
 }
 
 impl SloSignal {
@@ -44,6 +47,7 @@ impl SloSignal {
                 SloSignal::HitRate => e.hit_rate(),
                 SloSignal::LatencyP50Ms => e.latency.quantile_ms(0.5).map(|v| v as f64),
                 SloSignal::LatencyP99Ms => e.latency.quantile_ms(0.99).map(|v| v as f64),
+                SloSignal::MatchConfidence => e.match_confidence(),
                 // The remaining signals are campaign-wide; a scoped rule
                 // over them still reads the global value.
                 _ => self.measure(snap, None),
@@ -58,13 +62,17 @@ impl SloSignal {
             SloSignal::StallsReclaimed => Some(snap.stalls as f64),
             SloSignal::WorkersLive => Some(snap.workers_live as f64),
             SloSignal::QueueDepth => Some(snap.jobs_open as f64),
+            SloSignal::MatchConfidence => snap.match_confidence(),
         }
     }
 
     /// Whether the rule breaches when the signal falls *below* the
     /// threshold (true for the "health floor" signals).
     fn breaches_below(&self) -> bool {
-        matches!(self, SloSignal::HitRate | SloSignal::WorkersLive)
+        matches!(
+            self,
+            SloSignal::HitRate | SloSignal::WorkersLive | SloSignal::MatchConfidence
+        )
     }
 }
 
@@ -121,6 +129,13 @@ impl SloRule {
     /// Retries per attempt must stay at or below `rate`.
     pub fn retry_rate_at_most(rate: f64) -> Self {
         Self::base("retry_rate", SloSignal::RetryRate, rate)
+    }
+
+    /// Template match confidence must stay at or above `threshold` —
+    /// degradation means the endpoint's markup drifted away from the
+    /// bootstrapped template set.
+    pub fn match_confidence_at_least(threshold: f64) -> Self {
+        Self::base("match_confidence", SloSignal::MatchConfidence, threshold)
     }
 
     /// Scopes the rule to one endpoint and tags the name with it.

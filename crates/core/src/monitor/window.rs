@@ -22,6 +22,8 @@ struct Bucket {
     breaker_defers: u64,
     shed_cuts: u64,
     stalls: u64,
+    drift_suspected: u64,
+    rebootstraps: u64,
     per_endpoint: BTreeMap<String, EndpointWindow>,
 }
 
@@ -35,11 +37,14 @@ impl Bucket {
         snap.breaker_defers += self.breaker_defers;
         snap.shed_cuts += self.shed_cuts;
         snap.stalls += self.stalls;
+        snap.drift_suspected += self.drift_suspected;
+        snap.rebootstraps += self.rebootstraps;
         for (endpoint, e) in &self.per_endpoint {
             let t = snap.per_endpoint.entry(endpoint.clone()).or_default();
             t.attempts += e.attempts;
             t.hits += e.hits;
             t.latency.merge(&e.latency);
+            t.drift_suspected += e.drift_suspected;
         }
     }
 }
@@ -50,11 +55,20 @@ pub struct EndpointWindow {
     pub attempts: u64,
     pub hits: u64,
     pub latency: Histogram,
+    /// Unrecognized-page sightings charged to this endpoint.
+    pub drift_suspected: u64,
 }
 
 impl EndpointWindow {
     pub fn hit_rate(&self) -> Option<f64> {
         (self.attempts > 0).then(|| self.hits as f64 / self.attempts as f64)
+    }
+
+    /// Fraction of windowed attempts whose pages the template set
+    /// recognized — the per-ISP drift health signal.
+    pub fn match_confidence(&self) -> Option<f64> {
+        (self.attempts > 0)
+            .then(|| 1.0 - self.drift_suspected.min(self.attempts) as f64 / self.attempts as f64)
     }
 }
 
@@ -76,6 +90,10 @@ pub struct WindowSnapshot {
     pub breaker_defers: u64,
     pub shed_cuts: u64,
     pub stalls: u64,
+    /// Unrecognized-page sightings inside the window.
+    pub drift_suspected: u64,
+    /// Re-bootstrap cycles begun inside the window.
+    pub rebootstraps: u64,
     pub per_endpoint: BTreeMap<String, EndpointWindow>,
     /// Workers currently inside their worker span.
     pub workers_live: u32,
@@ -101,6 +119,13 @@ impl WindowSnapshot {
 
     pub fn p99_ms(&self) -> Option<u64> {
         self.latency.quantile_ms(0.99)
+    }
+
+    /// Fraction of windowed attempts whose pages the template set
+    /// recognized, across all endpoints.
+    pub fn match_confidence(&self) -> Option<f64> {
+        (self.attempts > 0)
+            .then(|| 1.0 - self.drift_suspected.min(self.attempts) as f64 / self.attempts as f64)
     }
 }
 
@@ -183,6 +208,15 @@ impl SlidingWindow {
             }
             EventKind::ShedRaise { limit } => self.shed_limit = Some(*limit),
             EventKind::StallReclaimed { .. } => bucket.stalls += 1,
+            EventKind::DriftSuspected { endpoint, .. } => {
+                bucket.drift_suspected += 1;
+                bucket
+                    .per_endpoint
+                    .entry(endpoint.clone())
+                    .or_default()
+                    .drift_suspected += 1;
+            }
+            EventKind::RebootstrapStarted { .. } => bucket.rebootstraps += 1,
             EventKind::WorkerBegin { .. } => self.workers_live += 1,
             EventKind::WorkerEnd { .. } => self.workers_live = self.workers_live.saturating_sub(1),
             EventKind::JobBegin { .. } => self.jobs_open += 1,

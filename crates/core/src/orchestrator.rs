@@ -33,23 +33,33 @@
 //!   once the storm passes; parked workers wake as the ceiling rises.
 
 use crate::client::BqtConfig;
+use crate::drift::{DriftMonitor, DriftReport};
 use crate::driver::{query_address_traced, QueryJob, QueryOutcome, QueryRecord};
-use crate::journal::{config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError};
+use crate::journal::{
+    config_fingerprint, AttemptEntry, CampaignManifest, Journal, JournalError, RebootstrapEntry,
+};
 use crate::metrics::Metrics;
 use crate::monitor::{CampaignSection, HealthReport};
 use crate::retry::{is_retryable, CircuitBreaker, RetryPolicy};
+use crate::scrape::{learn_template_set, TemplateSet, GENERATIONS};
 use crate::shed::{ShedController, ShedDecision, ShedPolicy};
 use crate::telemetry::{EventKind, EventSink, OutcomeCode, Telemetry, TelemetrySummary};
-use bbsim_net::{mix64, EventQueue, IpPool, SimDuration, SimTime, Transport};
+use bbsim_net::{
+    fnv1a, mix64, EventQueue, IpPool, Request, SimDuration, SimIp, SimTime, Status, Transport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 pub use crate::telemetry::ResumeStats;
 
 /// Domain separators for the orchestrator's derived-randomness streams.
 const RNG_SALT: u64 = 0x0C_0E57;
 const POOL_SALT: u64 = 0x1B_ADD4;
+const REBOOT_SALT: u64 = 0x2E_B007;
+
+/// Pages fetched per re-bootstrap probe burst.
+const PROBE_BURST: usize = 12;
 
 /// Orchestration parameters.
 #[derive(Debug, Clone)]
@@ -68,6 +78,11 @@ pub struct Orchestrator {
     pub watchdog: SimDuration,
     /// Adaptive load shedding. `None` keeps the worker pool fixed.
     pub shed: Option<ShedPolicy>,
+    /// Template-drift supervision: when set, every endpoint gets its own
+    /// clone of this monitor; a flagged endpoint is quarantined, a probe
+    /// burst re-learns its templates, and the swap is applied to all
+    /// later attempts. `None` turns the drift machinery off entirely.
+    pub drift: Option<DriftMonitor>,
 }
 
 /// What the discrete-event loop schedules.
@@ -91,6 +106,7 @@ impl Orchestrator {
             retry: None,
             watchdog: SimDuration::from_secs(300),
             shed: None,
+            drift: None,
         }
     }
 
@@ -116,6 +132,7 @@ impl Orchestrator {
                     self.watchdog.as_millis(),
                     self.retry.map_or(0, |r| r.max_attempts as u64),
                     self.shed.is_some() as u64,
+                    self.drift.is_some() as u64,
                 ],
             ),
             job_digest: CampaignManifest::digest_jobs(jobs),
@@ -192,6 +209,14 @@ impl Orchestrator {
         let mut dead_letters: Vec<DeadLetter> = Vec::new();
         let mut metrics = Metrics::new();
         let mut makespan = SimTime::ZERO;
+
+        // Drift supervision state: per-endpoint monitors cloned from the
+        // prototype, learned template overrides applied to live attempts,
+        // and the quarantine count per endpoint (the journal key a resumed
+        // run looks swaps up under).
+        let mut drift_mons: BTreeMap<String, DriftMonitor> = BTreeMap::new();
+        let mut learned_templates: BTreeMap<String, &'static TemplateSet> = BTreeMap::new();
+        let mut quarantines: BTreeMap<String, u32> = BTreeMap::new();
 
         while let Some((now, event)) = queue.pop() {
             if let Some(crash) = crash_at {
@@ -306,6 +331,13 @@ impl Orchestrator {
                     rec
                 }
                 None => {
+                    // A re-bootstrapped endpoint queries through its
+                    // learned templates; everything else keeps the
+                    // campaign configuration.
+                    let cfg = match learned_templates.get(&job.endpoint) {
+                        Some(ts) => config.with_templates(ts),
+                        None => *config,
+                    };
                     let mut rec = if journaled {
                         // Hermetic per-attempt randomness: the source IP
                         // and the driver's own draws are functions of
@@ -318,13 +350,11 @@ impl Orchestrator {
                             &[job.tag, attempt as u64],
                         ));
                         query_address_traced(
-                            transport, config, job, src, now, &mut arng, attempt, tel,
+                            transport, &cfg, job, src, now, &mut arng, attempt, tel,
                         )
                     } else {
                         let src = pool.next();
-                        query_address_traced(
-                            transport, config, job, src, now, &mut rng, attempt, tel,
-                        )
+                        query_address_traced(transport, &cfg, job, src, now, &mut rng, attempt, tel)
                     };
                     if rec.outcome == QueryOutcome::Stalled {
                         // The watchdog reclaims the hung worker: charge
@@ -365,6 +395,127 @@ impl Orchestrator {
             if !from_journal && crash_at.is_none_or(|c| done <= c) {
                 if let Some(jr) = journal.as_deref_mut() {
                     jr.append(AttemptEntry::from_record(&rec, attempt))?;
+                }
+            }
+
+            // Template-drift watch: every finished attempt — replayed or
+            // live — feeds its endpoint's monitor, so a resumed run
+            // re-derives the same quarantine decisions at the same points
+            // in the record stream.
+            if let Some(proto) = &self.drift {
+                if rec.saw_unrecognized_page {
+                    tel.emit(
+                        done,
+                        EventKind::DriftSuspected {
+                            tag: job.tag,
+                            endpoint: job.endpoint.clone(),
+                        },
+                    );
+                }
+                let mon = drift_mons
+                    .entry(job.endpoint.clone())
+                    .or_insert_with(|| proto.clone());
+                mon.observe(&rec);
+                if mon.needs_rebootstrap() {
+                    let occurrence = {
+                        let n = quarantines.entry(job.endpoint.clone()).or_insert(0);
+                        *n += 1;
+                        *n
+                    };
+                    tel.emit(
+                        done,
+                        EventKind::RebootstrapStarted {
+                            endpoint: job.endpoint.clone(),
+                        },
+                    );
+                    // A journaled swap for this exact quarantine is
+                    // replayed verbatim instead of re-probing.
+                    let replayed_swap = journal
+                        .as_deref()
+                        .and_then(|jr| jr.rebootstrap(&job.endpoint, occurrence))
+                        .map(|r| (r.generation, r.confidence_pct));
+                    let swap_from_journal = replayed_swap.is_some();
+                    let (generation, confidence_pct) = match replayed_swap {
+                        Some(swap) => swap,
+                        None => {
+                            // Probe burst: re-submit the endpoint's first
+                            // jobs as bare /locate requests at the current
+                            // instant. Probes are operator tooling, not
+                            // campaign traffic — they consume no virtual
+                            // time, emit no events, and source from a
+                            // reserved IP range (TEST-NET-3) so they never
+                            // perturb the campaign's rate-limit state.
+                            let mut pages = Vec::new();
+                            let probes = jobs
+                                .iter()
+                                .filter(|p| p.endpoint == job.endpoint)
+                                .take(PROBE_BURST);
+                            for (k, probe) in probes.enumerate() {
+                                let key = mix64(
+                                    self.seed ^ REBOOT_SALT,
+                                    &[fnv1a(job.endpoint.as_bytes()), occurrence as u64, k as u64],
+                                );
+                                let src = SimIp(u32::from_be_bytes([203, 0, 113, key as u8]));
+                                let req = Request::post(
+                                    "/locate",
+                                    format!("address={}", probe.input_line),
+                                );
+                                if let Ok((resp, _)) =
+                                    transport.round_trip(&job.endpoint, src, &req, done)
+                                {
+                                    if resp.status == Status::Ok {
+                                        pages.push(resp.body);
+                                    }
+                                }
+                            }
+                            match learn_template_set(&pages, job.dialect) {
+                                Some(l) => (l.generation, (l.confidence * 100.0).round() as u32),
+                                None => (0, 0),
+                            }
+                        }
+                    };
+                    // Generation 0 means the burst learned nothing; an
+                    // out-of-range generation can only come from a foreign
+                    // journal and is treated the same way.
+                    let swapped = generation
+                        .checked_sub(1)
+                        .and_then(|g| GENERATIONS.get(g as usize))
+                        .copied();
+                    if let Some(ts) = swapped {
+                        let current = *learned_templates
+                            .get(&job.endpoint)
+                            .unwrap_or(&config.templates);
+                        if *ts != *current {
+                            learned_templates.insert(job.endpoint.clone(), ts);
+                            tel.emit(
+                                done,
+                                EventKind::TemplateSwapped {
+                                    endpoint: job.endpoint.clone(),
+                                    generation,
+                                },
+                            );
+                        }
+                    }
+                    tel.emit(
+                        done,
+                        EventKind::RebootstrapCompleted {
+                            endpoint: job.endpoint.clone(),
+                            confidence_pct,
+                        },
+                    );
+                    // Write-ahead like the attempts: the swap is journaled
+                    // only if it completed before the simulated crash.
+                    if !swap_from_journal && crash_at.is_none_or(|c| done <= c) {
+                        if let Some(jr) = journal.as_deref_mut() {
+                            jr.append_rebootstrap(RebootstrapEntry {
+                                endpoint: job.endpoint.clone(),
+                                occurrence,
+                                generation,
+                                confidence_pct,
+                            })?;
+                        }
+                    }
+                    mon.reset();
                 }
             }
 
@@ -470,6 +621,14 @@ impl Orchestrator {
         );
 
         let health = tel.take_monitor().map(|m| m.finish());
+        let drift = self.drift.as_ref().map(|_| DriftReport {
+            total_sightings: drift_mons.values().map(|m| m.total_sightings).sum(),
+            per_endpoint: drift_mons
+                .iter()
+                .map(|(e, m)| (e.clone(), m.drift_rate()))
+                .collect(),
+            rebootstraps: quarantines.iter().map(|(e, n)| (e.clone(), *n)).collect(),
+        });
         Ok(Some(OrchestratorReport {
             records,
             metrics,
@@ -478,6 +637,7 @@ impl Orchestrator {
             concurrency_timeline: shed_ctrl.map(|c| c.timeline().to_vec()).unwrap_or_default(),
             telemetry: tel.summary(),
             health,
+            drift,
         }))
     }
 }
@@ -519,6 +679,10 @@ pub struct OrchestratorReport {
     /// The live monitor's final judgement — alerts, window state and the
     /// folded profile. `None` unless `Campaign::monitor` was attached.
     pub health: Option<HealthReport>,
+    /// The drift watch's summary — sightings, final per-endpoint rates
+    /// and quarantine counts. `None` unless `Campaign::drift_monitor`
+    /// was armed.
+    pub drift: Option<DriftReport>,
 }
 
 impl OrchestratorReport {
@@ -550,6 +714,11 @@ impl OrchestratorReport {
     /// Workers the watchdog reclaimed from hung sessions.
     pub fn stalls_reclaimed(&self) -> u64 {
         self.telemetry.stalls_reclaimed
+    }
+
+    /// Template re-bootstraps the drift watch completed.
+    pub fn rebootstraps(&self) -> u64 {
+        self.telemetry.rebootstraps_completed
     }
 
     /// This report's slice of a metrics exposition / folded profile,

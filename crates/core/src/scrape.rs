@@ -194,6 +194,52 @@ pub fn detect(page: &str, dialect: Dialect) -> DetectedPage {
     detect_with(TemplateSet::v1(), page, dialect)
 }
 
+/// Every bootstrapped template generation, in bootstrap order. Generation
+/// numbers are 1-based indices into this list.
+pub const GENERATIONS: [&TemplateSet; 2] = [TemplateSet::v1(), TemplateSet::v2()];
+
+/// The product of a structural re-bootstrap: which known generation the
+/// probed pages belong to, and how decisively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnedTemplates {
+    pub templates: &'static TemplateSet,
+    /// 1-based generation number (1 = the original bootstrap).
+    pub generation: u32,
+    /// Fraction of probe pages the winning set recognized (`0.0..=1.0`).
+    pub confidence: f64,
+}
+
+/// Classifies a burst of probe pages by anchor structure: each page is run
+/// through [`detect_with`] under every known generation, and the
+/// generation recognizing the most pages wins (ties break toward the
+/// oldest generation, so noise never forces a spurious swap). Returns
+/// `None` when there are no pages to learn from.
+///
+/// This is the automated stand-in for the paper's manual re-bootstrapping
+/// pass: instead of a human re-reading the redesigned markup, the probe
+/// burst's structure selects the matching template set.
+pub fn learn_template_set(pages: &[String], dialect: Dialect) -> Option<LearnedTemplates> {
+    if pages.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, usize)> = None; // (generation index, recognized)
+    for (i, ts) in GENERATIONS.iter().enumerate() {
+        let recognized = pages
+            .iter()
+            .filter(|page| detect_with(ts, page, dialect) != DetectedPage::Unrecognized)
+            .count();
+        if best.is_none_or(|(_, n)| recognized > n) {
+            best = Some((i, recognized));
+        }
+    }
+    let (i, recognized) = best?;
+    Some(LearnedTemplates {
+        templates: GENERATIONS[i],
+        generation: i as u32 + 1,
+        confidence: recognized as f64 / pages.len() as f64,
+    })
+}
+
 /// Detects the template of `page` against an explicit template set.
 ///
 /// `dialect` selects the plan parser; template *markers* are shared across
@@ -352,6 +398,38 @@ mod tests {
         assert!(fiber.looks_like_fiber());
         assert!(!cable.looks_like_fiber());
         assert!(!dsl.looks_like_fiber());
+    }
+
+    #[test]
+    fn learning_classifies_v2_probe_bursts_as_generation_2() {
+        use bbsim_bat::TemplateVersion;
+        for isp in ALL_ISPS {
+            let dialect = templates::dialect_of(isp);
+            let pages = vec![
+                templates::render_plans_v(isp, catalog(isp), TemplateVersion::V2),
+                templates::render_no_service_v(isp, TemplateVersion::V2),
+                templates::render_not_found_v(isp, &["1 Oak St".into()], TemplateVersion::V2),
+            ];
+            let learned = learn_template_set(&pages, dialect).expect("non-empty burst");
+            assert_eq!(learned.generation, 2, "{isp}");
+            assert_eq!(learned.templates, TemplateSet::v2(), "{isp}");
+            assert!((learned.confidence - 1.0).abs() < 1e-12, "{isp}");
+        }
+    }
+
+    #[test]
+    fn learning_prefers_the_oldest_generation_on_ties() {
+        // Garbage pages recognize under no generation: 0 == 0, v1 wins.
+        let pages = vec!["<html>junk</html>".to_string(), "💥".to_string()];
+        let learned = learn_template_set(&pages, Dialect::DataAttr).expect("non-empty burst");
+        assert_eq!(learned.generation, 1);
+        assert_eq!(learned.templates, TemplateSet::v1());
+        assert_eq!(learned.confidence, 0.0);
+    }
+
+    #[test]
+    fn learning_needs_at_least_one_page() {
+        assert_eq!(learn_template_set(&[], Dialect::TableRow), None);
     }
 
     #[test]

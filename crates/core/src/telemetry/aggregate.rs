@@ -144,6 +144,19 @@ pub struct EndpointStats {
     pub latency: Histogram,
     /// Pages seen per attempt (the session length).
     pub pages: Histogram,
+    /// Unrecognized-page sightings charged to this endpoint.
+    pub drift_suspected: u64,
+}
+
+impl EndpointStats {
+    /// Fraction of attempts whose pages the template set recognized, in
+    /// whole percent (100 when no attempts finished yet).
+    pub fn match_confidence_pct(&self) -> u64 {
+        if self.attempts == 0 {
+            return 100;
+        }
+        100 - self.drift_suspected.min(self.attempts) * 100 / self.attempts
+    }
 }
 
 /// Per-worker utilization.
@@ -188,6 +201,14 @@ pub struct TelemetrySummary {
     pub alerts_fired: u64,
     /// Monitor alerts closed (`AlertResolved` events).
     pub alerts_resolved: u64,
+    /// Unrecognized-page sightings (`DriftSuspected` events).
+    pub drift_suspected: u64,
+    /// Endpoint quarantines opened (`RebootstrapStarted` events).
+    pub rebootstraps_started: u64,
+    /// Learned template sets swapped in (`TemplateSwapped` events).
+    pub templates_swapped: u64,
+    /// Endpoint quarantines closed (`RebootstrapCompleted` events).
+    pub rebootstraps_completed: u64,
     /// Attempt latency across all endpoints.
     pub attempt_latency: Histogram,
     /// Backoff delay per scheduled retry.
@@ -264,6 +285,16 @@ impl MetricsAggregator {
             EventKind::ShedCut { .. } => s.shed_cuts += 1,
             EventKind::ShedRaise { .. } => s.shed_raises += 1,
             EventKind::StallReclaimed { .. } => s.stalls_reclaimed += 1,
+            EventKind::DriftSuspected { endpoint, .. } => {
+                s.drift_suspected += 1;
+                s.per_endpoint
+                    .entry(endpoint.clone())
+                    .or_default()
+                    .drift_suspected += 1;
+            }
+            EventKind::RebootstrapStarted { .. } => s.rebootstraps_started += 1,
+            EventKind::TemplateSwapped { .. } => s.templates_swapped += 1,
+            EventKind::RebootstrapCompleted { .. } => s.rebootstraps_completed += 1,
             EventKind::JournalReplay { .. } => s.replayed_attempts += 1,
             EventKind::FaultInjected { .. } => s.faults_injected += 1,
             EventKind::PageFetchBegin { .. } => s.page_fetches += 1,

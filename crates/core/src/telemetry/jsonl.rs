@@ -98,6 +98,25 @@ pub fn to_line(event: &Event) -> String {
             w.num("tag", *tag);
             w.num("worker", *worker as u64);
         }
+        EventKind::DriftSuspected { tag, endpoint } => {
+            w.num("tag", *tag);
+            w.str("endpoint", endpoint);
+        }
+        EventKind::RebootstrapStarted { endpoint } => w.str("endpoint", endpoint),
+        EventKind::TemplateSwapped {
+            endpoint,
+            generation,
+        } => {
+            w.str("endpoint", endpoint);
+            w.num("generation", *generation as u64);
+        }
+        EventKind::RebootstrapCompleted {
+            endpoint,
+            confidence_pct,
+        } => {
+            w.str("endpoint", endpoint);
+            w.num("confidence_pct", *confidence_pct as u64);
+        }
         EventKind::JournalReplay { tag, attempt } => {
             w.num("tag", *tag);
             w.num("attempt", *attempt as u64);
@@ -282,6 +301,21 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
         "stall_reclaimed" => EventKind::StallReclaimed {
             tag: f.num("tag")?,
             worker: f.num_u32("worker")?,
+        },
+        "drift_suspected" => EventKind::DriftSuspected {
+            tag: f.num("tag")?,
+            endpoint: f.str("endpoint")?,
+        },
+        "rebootstrap_started" => EventKind::RebootstrapStarted {
+            endpoint: f.str("endpoint")?,
+        },
+        "template_swapped" => EventKind::TemplateSwapped {
+            endpoint: f.str("endpoint")?,
+            generation: f.num_u32("generation")?,
+        },
+        "rebootstrap_completed" => EventKind::RebootstrapCompleted {
+            endpoint: f.str("endpoint")?,
+            confidence_pct: f.num_u32("confidence_pct")?,
         },
         "journal_replay" => EventKind::JournalReplay {
             tag: f.num("tag")?,
@@ -654,6 +688,33 @@ mod tests {
                 },
             ),
             e(90_000, EventKind::ShedRaise { limit: 5 }),
+            e(
+                92_000,
+                EventKind::DriftSuspected {
+                    tag: 41,
+                    endpoint: "centurylink/billings".into(),
+                },
+            ),
+            e(
+                92_000,
+                EventKind::RebootstrapStarted {
+                    endpoint: "centurylink/billings".into(),
+                },
+            ),
+            e(
+                92_000,
+                EventKind::TemplateSwapped {
+                    endpoint: "centurylink/billings".into(),
+                    generation: 2,
+                },
+            ),
+            e(
+                92_000,
+                EventKind::RebootstrapCompleted {
+                    endpoint: "centurylink/billings".into(),
+                    confidence_pct: 95,
+                },
+            ),
             e(95_000, EventKind::StallReclaimed { tag: 43, worker: 2 }),
             e(
                 95_000,

@@ -211,6 +211,21 @@ pub enum EventKind {
     ShedRaise { limit: u32 },
     /// The watchdog reclaimed `worker` from a hung session.
     StallReclaimed { tag: u64, worker: u32 },
+    /// An attempt against `endpoint` hit an unrecognized page — one drift
+    /// sighting charged to the attempt's job `tag`.
+    DriftSuspected { tag: u64, endpoint: String },
+    /// The drift monitor crossed its re-bootstrap threshold: `endpoint` is
+    /// quarantined and a structural probe burst begins.
+    RebootstrapStarted { endpoint: String },
+    /// The probe burst classified the endpoint's markup as template
+    /// `generation` and the orchestrator swapped the learned set in.
+    TemplateSwapped { endpoint: String, generation: u32 },
+    /// The endpoint left quarantine; `confidence_pct` is the fraction of
+    /// probe pages the winning template set recognized, in percent.
+    RebootstrapCompleted {
+        endpoint: String,
+        confidence_pct: u32,
+    },
     /// The attempt was answered from the journal, not the transport.
     /// *Ephemeral*: only resumed runs emit it.
     JournalReplay { tag: u64, attempt: u32 },
@@ -256,7 +271,11 @@ impl EventKind {
             | EventKind::BreakerDefer { .. }
             | EventKind::ShedCut { .. }
             | EventKind::ShedRaise { .. }
-            | EventKind::StallReclaimed { .. } => true,
+            | EventKind::StallReclaimed { .. }
+            | EventKind::DriftSuspected { .. }
+            | EventKind::RebootstrapStarted { .. }
+            | EventKind::TemplateSwapped { .. }
+            | EventKind::RebootstrapCompleted { .. } => true,
             EventKind::JournalReplay { .. }
             | EventKind::FaultInjected { .. }
             | EventKind::PageFetchBegin { .. }
@@ -283,6 +302,10 @@ impl EventKind {
             EventKind::ShedCut { .. } => "shed_cut",
             EventKind::ShedRaise { .. } => "shed_raise",
             EventKind::StallReclaimed { .. } => "stall_reclaimed",
+            EventKind::DriftSuspected { .. } => "drift_suspected",
+            EventKind::RebootstrapStarted { .. } => "rebootstrap_started",
+            EventKind::TemplateSwapped { .. } => "template_swapped",
+            EventKind::RebootstrapCompleted { .. } => "rebootstrap_completed",
             EventKind::JournalReplay { .. } => "journal_replay",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::AlertFired { .. } => "alert_fired",

@@ -14,17 +14,21 @@
 //! * [`pipeline`] — end-to-end curation for one city or the full study;
 //! * [`record`] — the per-address and per-block-group dataset schemas;
 //! * [`aggregate`] — carriage values, block-group medians and CoV (§5.1);
+//! * [`longitudinal`] — the snapshot diff engine: plan churn between two
+//!   curations of the same sample (the epoch-wave study's core);
 //! * [`anonymize`] — the hashed public-release form of the dataset;
 //! * [`csvio`] — plain-text CSV export/import for interchange.
 
 pub mod aggregate;
 pub mod anonymize;
 pub mod csvio;
+pub mod longitudinal;
 pub mod pipeline;
 pub mod record;
 
 pub use aggregate::{aggregate_block_groups, BlockGroupRow};
 pub use anonymize::anonymize_tag;
+pub use longitudinal::{diff_epochs, diff_snapshots, Churn, SnapshotDiff};
 pub use pipeline::{
     curate_city, curate_city_journaled, curate_city_with_faults, CityDataset, CurationOptions,
 };

@@ -1,0 +1,379 @@
+//! Longitudinal snapshots: what changed between two curations of a city.
+//!
+//! The paper scrapes each city once; a longitudinal study re-curates the
+//! same sample at later epochs and asks what the ISPs changed — plans
+//! introduced, plans withdrawn, tiers repriced, addresses gaining or
+//! losing service. This module is the diff engine over two curated
+//! snapshots: it matches addresses by `(isp, address_tag)`, matches plans
+//! within an address by speed tier, and aggregates the churn per block
+//! group so the §5 disparity lens applies to *change* the same way it
+//! applies to level.
+//!
+//! Everything here is deterministic: the diff walks `BTreeMap`s keyed on
+//! stable identifiers, so two runs over byte-identical snapshots render
+//! byte-identical reports (the property the `longitudinal` CI job
+//! byte-compares across thread counts and crash+resume).
+
+use crate::pipeline::CityDataset;
+use crate::record::PlanRecord;
+use bbsim_isp::Isp;
+use bqt::ScrapedPlan;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A speed tier: the identity of a plan across snapshots. Price is what
+/// churns; download/upload is what a plan *is*.
+fn tier(p: &ScrapedPlan) -> (u64, u64) {
+    (p.download_mbps.to_bits(), p.upload_mbps.to_bits())
+}
+
+/// Plan churn counters for one scope (an address, a block group, or the
+/// whole snapshot pair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Churn {
+    /// Speed tiers present only in the newer snapshot.
+    pub added: u64,
+    /// Speed tiers present only in the older snapshot.
+    pub removed: u64,
+    /// Tiers present in both at a different price.
+    pub repriced: u64,
+    /// Addresses with service only in the newer snapshot.
+    pub gained_service: u64,
+    /// Addresses with service only in the older snapshot.
+    pub lost_service: u64,
+}
+
+impl Churn {
+    /// Nothing changed in this scope.
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+
+    fn absorb(&mut self, other: &Churn) {
+        self.added += other.added;
+        self.removed += other.removed;
+        self.repriced += other.repriced;
+        self.gained_service += other.gained_service;
+        self.lost_service += other.lost_service;
+    }
+}
+
+/// The diff between two curated snapshots of the same city.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDiff {
+    /// Churn per `(isp, bg_index)`, ascending by ISP column then block
+    /// group; quiet block groups are kept so coverage is visible.
+    pub per_block_group: Vec<(Isp, usize, Churn)>,
+    /// Everything above, summed.
+    pub total: Churn,
+    /// Addresses present in both snapshots (the comparable universe).
+    pub matched_addresses: u64,
+    /// Addresses present in exactly one snapshot. Zero when both epochs
+    /// curated the same sample; anything else means the comparison is
+    /// partial and the caller should say so.
+    pub unmatched_addresses: u64,
+}
+
+impl SnapshotDiff {
+    /// True when the ISPs changed nothing between the snapshots.
+    pub fn is_quiet(&self) -> bool {
+        self.total.is_quiet()
+    }
+
+    /// Block groups with any churn at all.
+    pub fn churned_block_groups(&self) -> usize {
+        self.per_block_group
+            .iter()
+            .filter(|(_, _, c)| !c.is_quiet())
+            .count()
+    }
+
+    /// A stable plain-text rendering: one header, one total line, then
+    /// one line per *churned* block group. Byte-identical across runs
+    /// over identical snapshots — the artifact the longitudinal CI job
+    /// compares.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            &mut out,
+            "snapshot-diff matched={} unmatched={} block_groups={} churned={}",
+            self.matched_addresses,
+            self.unmatched_addresses,
+            self.per_block_group.len(),
+            self.churned_block_groups(),
+        );
+        let c = &self.total;
+        let _ = writeln!(
+            &mut out,
+            "total added={} removed={} repriced={} gained={} lost={}",
+            c.added, c.removed, c.repriced, c.gained_service, c.lost_service
+        );
+        for (isp, bg, c) in &self.per_block_group {
+            if c.is_quiet() {
+                continue;
+            }
+            let _ = writeln!(
+                &mut out,
+                "{} bg={bg} added={} removed={} repriced={} gained={} lost={}",
+                isp.slug(),
+                c.added,
+                c.removed,
+                c.repriced,
+                c.gained_service,
+                c.lost_service
+            );
+        }
+        out
+    }
+}
+
+/// Diffs one address's plan lists: tiers are matched by speed, prices
+/// compared bit-exact (scraped prices are parsed from rendered markup, so
+/// equal offers re-scrape to equal bits).
+fn diff_address(old: &[ScrapedPlan], new: &[ScrapedPlan]) -> Churn {
+    let mut churn = Churn::default();
+    if old.is_empty() != new.is_empty() {
+        if old.is_empty() {
+            churn.gained_service = 1;
+        } else {
+            churn.lost_service = 1;
+        }
+    }
+    let old_tiers: BTreeMap<(u64, u64), u64> = old
+        .iter()
+        .map(|p| (tier(p), p.price_usd.to_bits()))
+        .collect();
+    let new_tiers: BTreeMap<(u64, u64), u64> = new
+        .iter()
+        .map(|p| (tier(p), p.price_usd.to_bits()))
+        .collect();
+    for (t, price) in &new_tiers {
+        match old_tiers.get(t) {
+            None => churn.added += 1,
+            Some(old_price) if old_price != price => churn.repriced += 1,
+            Some(_) => {}
+        }
+    }
+    churn.removed += new_tiers.keys().fold(old_tiers.len() as u64, |acc, t| {
+        acc - old_tiers.contains_key(t) as u64
+    });
+    churn
+}
+
+/// Diffs two snapshots' records. Addresses are matched by
+/// `(isp, address_tag)`; an address present in only one snapshot is
+/// counted as unmatched, never as churn (sampling drift is not an ISP
+/// decision).
+pub fn diff_snapshots(old: &[PlanRecord], new: &[PlanRecord]) -> SnapshotDiff {
+    let index = |records: &[PlanRecord]| -> BTreeMap<(u8, u64), (Isp, usize, Vec<ScrapedPlan>)> {
+        records
+            .iter()
+            .map(|r| {
+                (
+                    (r.isp.column(), r.address_tag),
+                    (r.isp, r.bg_index, r.plans.clone()),
+                )
+            })
+            .collect()
+    };
+    let old_idx = index(old);
+    let new_idx = index(new);
+
+    let mut per_bg: BTreeMap<(u8, usize), (Isp, Churn)> = BTreeMap::new();
+    // Every covered block group gets a row, churned or not.
+    for (isp, bg, _) in old_idx.values().chain(new_idx.values()) {
+        per_bg
+            .entry((isp.column(), *bg))
+            .or_insert((*isp, Churn::default()));
+    }
+
+    let mut diff = SnapshotDiff::default();
+    for (key, (isp, bg, old_plans)) in &old_idx {
+        let Some((_, _, new_plans)) = new_idx.get(key) else {
+            diff.unmatched_addresses += 1;
+            continue;
+        };
+        diff.matched_addresses += 1;
+        let churn = diff_address(old_plans, new_plans);
+        if !churn.is_quiet() {
+            per_bg
+                .get_mut(&(isp.column(), *bg))
+                .expect("every record's block group was indexed")
+                .1
+                .absorb(&churn);
+            diff.total.absorb(&churn);
+        }
+    }
+    diff.unmatched_addresses += new_idx.keys().filter(|k| !old_idx.contains_key(k)).count() as u64;
+
+    diff.per_block_group = per_bg
+        .into_iter()
+        .map(|((_, bg), (isp, churn))| (isp, bg, churn))
+        .collect();
+    diff
+}
+
+/// Diffs a sequence of epoch snapshots pairwise: element `i` is the churn
+/// from wave `i` to wave `i + 1`.
+pub fn diff_epochs(snapshots: &[CityDataset]) -> Vec<SnapshotDiff> {
+    snapshots
+        .windows(2)
+        .map(|w| diff_snapshots(&w[0].records, &w[1].records))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbsim_geo::BlockGroupId;
+
+    fn plan(down: f64, up: f64, price: f64) -> ScrapedPlan {
+        ScrapedPlan {
+            download_mbps: down,
+            upload_mbps: up,
+            price_usd: price,
+        }
+    }
+
+    fn record(tag: u64, bg: usize, plans: Vec<ScrapedPlan>) -> PlanRecord {
+        PlanRecord {
+            city: "Testville".to_string(),
+            isp: Isp::Cox,
+            address_tag: tag,
+            block_group: BlockGroupId::new(22, 71, 1, bg as u8),
+            bg_index: bg,
+            plans,
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_diff_quiet() {
+        let records = vec![
+            record(1, 0, vec![plan(100.0, 10.0, 50.0)]),
+            record(2, 1, vec![]),
+        ];
+        let diff = diff_snapshots(&records, &records.clone());
+        assert!(diff.is_quiet());
+        assert_eq!(diff.matched_addresses, 2);
+        assert_eq!(diff.unmatched_addresses, 0);
+        assert_eq!(diff.churned_block_groups(), 0);
+        assert_eq!(diff.per_block_group.len(), 2, "coverage rows survive");
+    }
+
+    #[test]
+    fn churn_classifies_adds_removals_and_reprices() {
+        let old = vec![record(
+            1,
+            3,
+            vec![plan(100.0, 10.0, 50.0), plan(500.0, 50.0, 80.0)],
+        )];
+        let new = vec![record(
+            1,
+            3,
+            // 100/10 repriced, 500/50 withdrawn, gig tier introduced.
+            vec![plan(100.0, 10.0, 55.0), plan(1000.0, 1000.0, 90.0)],
+        )];
+        let diff = diff_snapshots(&old, &new);
+        assert_eq!(diff.total.added, 1);
+        assert_eq!(diff.total.removed, 1);
+        assert_eq!(diff.total.repriced, 1);
+        assert_eq!(diff.total.gained_service, 0);
+        assert_eq!(diff.total.lost_service, 0);
+        assert_eq!(diff.churned_block_groups(), 1);
+    }
+
+    #[test]
+    fn service_transitions_are_counted_per_address() {
+        let old = vec![
+            record(1, 0, vec![]),
+            record(2, 0, vec![plan(50.0, 5.0, 40.0)]),
+        ];
+        let new = vec![
+            record(1, 0, vec![plan(50.0, 5.0, 40.0)]),
+            record(2, 0, vec![]),
+        ];
+        let diff = diff_snapshots(&old, &new);
+        assert_eq!(diff.total.gained_service, 1);
+        assert_eq!(diff.total.lost_service, 1);
+        // The gained address's tier is an add; the lost one's a removal.
+        assert_eq!(diff.total.added, 1);
+        assert_eq!(diff.total.removed, 1);
+    }
+
+    #[test]
+    fn unmatched_addresses_are_reported_not_diffed() {
+        let old = vec![record(1, 0, vec![plan(100.0, 10.0, 50.0)])];
+        let new = vec![record(2, 0, vec![plan(100.0, 10.0, 99.0)])];
+        let diff = diff_snapshots(&old, &new);
+        assert_eq!(diff.matched_addresses, 0);
+        assert_eq!(diff.unmatched_addresses, 2);
+        assert!(diff.is_quiet(), "disjoint samples produce no churn");
+    }
+
+    #[test]
+    fn render_is_stable_and_lists_only_churned_groups() {
+        let old = vec![
+            record(1, 0, vec![plan(100.0, 10.0, 50.0)]),
+            record(2, 7, vec![plan(25.0, 3.0, 30.0)]),
+        ];
+        let new = vec![
+            record(1, 0, vec![plan(100.0, 10.0, 60.0)]),
+            record(2, 7, vec![plan(25.0, 3.0, 30.0)]),
+        ];
+        let diff = diff_snapshots(&old, &new);
+        let text = diff.render();
+        assert_eq!(text, diff_snapshots(&old, &new).render());
+        assert!(text.starts_with("snapshot-diff matched=2 unmatched=0"));
+        assert!(text.contains("total added=0 removed=0 repriced=1"));
+        assert!(text.contains("cox bg=0"), "{text}");
+        assert!(!text.contains("bg=7"), "quiet group stays off the report");
+    }
+
+    #[test]
+    fn curation_waves_re_query_the_same_sample_and_churn() {
+        use crate::pipeline::{curate_city, CurationOptions};
+        let city = bbsim_census::city_by_name("Billings").unwrap();
+        let mut opts = CurationOptions::quick(3);
+        opts.min_samples = 2;
+        opts.max_samples_per_bg = Some(2);
+        let wave0 = curate_city(city, &opts);
+        let wave1 = curate_city(city, &CurationOptions { epoch: 6, ..opts });
+        let diff = diff_snapshots(&wave0.records, &wave1.records);
+        // Sampling is epoch-invariant, so nearly every address matches
+        // across waves (the residue is addresses that only produced a
+        // record in one wave's scrape).
+        assert!(
+            diff.matched_addresses >= 9 * diff.unmatched_addresses,
+            "waves must share their sample: {} matched, {} unmatched",
+            diff.matched_addresses,
+            diff.unmatched_addresses
+        );
+        // Six simulated months of fiber build-out and promo rotation must
+        // register as churn somewhere.
+        assert!(!diff.is_quiet(), "{:?}", diff.total);
+        assert!(diff.churned_block_groups() > 0);
+    }
+
+    #[test]
+    fn epoch_waves_diff_pairwise() {
+        let a = vec![record(1, 0, vec![plan(100.0, 10.0, 50.0)])];
+        let b = vec![record(1, 0, vec![plan(100.0, 10.0, 55.0)])];
+        let snapshots = vec![
+            CityDataset {
+                city: bbsim_census::city_by_name("Billings").unwrap(),
+                records: a,
+                per_isp_metrics: Vec::new(),
+                per_isp_pause: Vec::new(),
+            },
+            CityDataset {
+                city: bbsim_census::city_by_name("Billings").unwrap(),
+                records: b,
+                per_isp_metrics: Vec::new(),
+                per_isp_pause: Vec::new(),
+            },
+        ];
+        let diffs = diff_epochs(&snapshots);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].total.repriced, 1);
+    }
+}

@@ -45,6 +45,11 @@ pub struct CurationOptions {
     pub watchdog: SimDuration,
     /// Adaptive load shedding for the worker pool; `None` keeps it fixed.
     pub shed: Option<ShedPolicy>,
+    /// Template-drift watch as `(window, threshold)` per the arguments of
+    /// [`bqt::DriftMonitor::new`]; `None` trusts the bootstrapped
+    /// templates for the whole run. Armed runs quarantine and re-bootstrap
+    /// endpoints whose markup drifts (see [`bqt::drift`]).
+    pub drift: Option<(usize, f64)>,
     /// OS threads for journaled (sharded) curation. Purely a scheduling
     /// knob: every artifact is byte-identical for every value (see
     /// [`bqt::shard`]). Ignored by journal-less curation, which stays on
@@ -67,6 +72,7 @@ impl CurationOptions {
             retry: None,
             watchdog: SimDuration::from_secs(300),
             shed: None,
+            drift: None,
             threads: 1,
         }
     }
@@ -86,6 +92,7 @@ impl CurationOptions {
             retry: None,
             watchdog: SimDuration::from_secs(300),
             shed: None,
+            drift: None,
             threads: 1,
         }
     }
@@ -137,8 +144,9 @@ pub fn curate_city_with_faults(
     opts: &CurationOptions,
     plan: Option<FaultPlan>,
 ) -> CityDataset {
-    let (dataset, _) = curate_city_inner(city, opts, plan, None)
-        .expect("journal-less curation cannot hit journal errors");
+    let Ok((dataset, _)) = curate_city_inner(city, opts, plan, None) else {
+        unreachable!("journal-less curation cannot hit journal errors")
+    };
     dataset
 }
 
@@ -176,6 +184,7 @@ fn curate_city_inner(
 
     let world = Arc::new(CityWorld::build_at(city, opts.epoch));
     let run_seed = city_seed(city.name) ^ opts.seed.rotate_left(16) ^ ((opts.epoch as u64) << 1);
+    let sample_seed = sample_seed(city, opts);
 
     if let Some(dir) = journal_dir {
         return curate_city_sharded(city, opts, plan, dir, &world, run_seed);
@@ -202,14 +211,16 @@ fn curate_city_inner(
         let src = pool.next();
         let (pause, config) = calibrate_isp(&world, opts, &mut transport, isp, src, run_seed);
         per_isp_pause.push((isp, pause));
-        let (jobs, tag_to_addr) = sample_jobs(&world, opts, isp, run_seed);
+        let (jobs, tag_to_addr) = sample_jobs(&world, opts, isp, sample_seed);
 
         // Scrape.
-        let report = Campaign::from_orchestrator(isp_orchestrator(opts, isp, run_seed))
+        let Ok(outcome) = Campaign::from_orchestrator(isp_orchestrator(opts, isp, run_seed))
             .config(config)
             .run(&mut transport, &jobs, &mut pool)
-            .expect("journal-less runs cannot hit journal errors")
-            .report();
+        else {
+            unreachable!("journal-less runs cannot hit journal errors")
+        };
+        let report = outcome.report();
 
         land_records(
             &mut records,
@@ -270,7 +281,7 @@ fn curate_city_sharded(
         let src = pool.next();
         let (pause, config) = calibrate_isp(world, opts, &mut transport, isp, src, run_seed);
         per_isp_pause.push((isp, pause));
-        let (jobs, tag_to_addr) = sample_jobs(world, opts, isp, run_seed);
+        let (jobs, tag_to_addr) = sample_jobs(world, opts, isp, sample_seed(city, opts));
         tag_maps.push(tag_to_addr);
         specs.push(ShardSpec {
             id: i as u32,
@@ -355,6 +366,14 @@ fn curate_city_sharded(
     ))
 }
 
+/// The epoch-free address-sampling seed: every wave of a longitudinal
+/// study queries the same addresses (the world's plans evolve with the
+/// epoch; the sample does not). At epoch 0 this equals the run seed, so
+/// single-snapshot curation is unchanged.
+fn sample_seed(city: &'static CityProfile, opts: &CurationOptions) -> u64 {
+    city_seed(city.name) ^ opts.seed.rotate_left(16)
+}
+
 /// Calibrates one ISP's settle pause like the paper — max observed load
 /// time over a bootstrap sample — and derives its workflow config.
 fn calibrate_isp(
@@ -380,17 +399,23 @@ fn calibrate_isp(
 
 /// Samples addresses per block group (10%, floor 30, optional cap) into
 /// one ISP's job list, plus the tag → address-id map for landing records.
+///
+/// The sampling seed deliberately excludes the epoch (see
+/// [`sample_seed`]): a longitudinal study re-curates the *same* sample at
+/// every wave, so the snapshot diff compares ISP decisions, not sampling
+/// noise.
 fn sample_jobs(
     world: &Arc<CityWorld>,
     opts: &CurationOptions,
     isp: Isp,
-    run_seed: u64,
+    sample_seed: u64,
 ) -> (Vec<QueryJob>, HashMap<u64, u32>) {
     let db = world.addresses();
     let mut jobs = Vec::new();
     let mut tag_to_addr: HashMap<u64, u32> = HashMap::new();
     for bg in 0..world.grid().len() {
-        let mut sampled = db.sample_block_group(bg, opts.sample_rate, opts.min_samples, run_seed);
+        let mut sampled =
+            db.sample_block_group(bg, opts.sample_rate, opts.min_samples, sample_seed);
         if let Some(cap) = opts.max_samples_per_bg {
             sampled.truncate(cap);
         }
@@ -417,6 +442,9 @@ fn isp_orchestrator(opts: &CurationOptions, isp: Isp, run_seed: u64) -> Orchestr
         retry: opts.retry,
         watchdog: opts.watchdog,
         shed: opts.shed,
+        drift: opts
+            .drift
+            .map(|(capacity, threshold)| bqt::DriftMonitor::new(capacity, threshold)),
     }
 }
 

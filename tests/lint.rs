@@ -144,6 +144,75 @@ fn real_shard_module_is_clean_under_all_rules() {
     );
 }
 
+// ---- drift-monitor hazards (D1 + E1 on the self-healing loop) -------
+
+/// The known-bad drift monitor trips D1 three ways: wall-clock sighting
+/// stamps, an environment-variable rebootstrap toggle, and OS-entropy
+/// probe jitter — each of which would make a re-bootstrap unreplayable.
+#[test]
+fn drift_fixture_flags_ambient_inputs_in_the_monitor() {
+    let findings = run(|c| c.d1_scopes = vec!["drift/bad.rs".into()]);
+    assert!(findings.iter().all(|f| f.rule == RuleId::D1));
+    for needle in [
+        "wall-clock read `SystemTime::now()`",
+        "process-environment read via `std::env`",
+        "OS-entropy RNG `thread_rng`",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(needle)),
+            "missing D1 finding for {needle:?}: {findings:?}"
+        );
+    }
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+/// The deterministic shape of the real monitor — virtual stamps handed
+/// in, salted probe seeds, a pure quarantine predicate — passes clean,
+/// with clock reads confined to tests.
+#[test]
+fn drift_fixture_clean_shape_passes() {
+    let findings = run(|c| {
+        c.d1_scopes = vec!["drift/clean.rs".into()];
+        c.d2_scopes = vec!["drift/clean.rs".into()];
+    });
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The E1 canary for the drift event slice: the four-variant mirror of
+/// the drift `EventKind`s covers every surface, so it passes — and a
+/// fifth variant added without extending every surface would not.
+#[test]
+fn drift_schema_canary_is_exhaustive() {
+    let findings = run(|c| c.e1 = Some(e1_config("drift/schema.rs")));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The dogfood gate for the tentpole modules: the real drift monitor and
+/// the BAT's drift schedule pass D1 + D2 + D3 with zero findings — not
+/// even baselined ones.
+#[test]
+fn real_drift_modules_are_clean_under_all_rules() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut config = Config::bare(root);
+    let scopes = vec![
+        "crates/core/src/drift.rs".to_string(),
+        "crates/bat/src/drift.rs".to_string(),
+    ];
+    config.d1_scopes.clone_from(&scopes);
+    config.d2_scopes.clone_from(&scopes);
+    config.d3_scopes = scopes;
+    let findings = analyze(&config).expect("drift module analysis");
+    assert!(
+        findings.is_empty(),
+        "the drift modules must be lint-clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 // ---- E1: telemetry exhaustiveness -----------------------------------
 
 fn e1_config(file: &str) -> divide_lint::E1Config {

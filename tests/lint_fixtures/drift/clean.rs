@@ -1,0 +1,43 @@
+//! Drift-monitor known-clean fixture: the deterministic shape of the
+//! real `bqt::DriftMonitor` — sightings stamped with the virtual clock
+//! handed in by the scheduler, probe identities derived from a salted
+//! seed, the quarantine decision a pure function of the window. Ambient
+//! reads stay in tests.
+
+pub struct SeededDriftMonitor {
+    window: Vec<bool>,
+    capacity: usize,
+    threshold: f64,
+}
+
+impl SeededDriftMonitor {
+    pub fn record_sighting(&mut self, at: SimTime, unrecognized: bool) {
+        let _ = at;
+        if self.window.len() == self.capacity {
+            self.window.remove(0);
+        }
+        self.window.push(unrecognized);
+    }
+
+    pub fn needs_rebootstrap(&self) -> bool {
+        let seen = self.window.iter().filter(|&&u| u).count();
+        self.window.len() * 2 >= self.capacity
+            && seen as f64 / self.window.len() as f64 > self.threshold
+    }
+
+    pub fn probe_seed(seed: u64, endpoint_key: u64) -> u64 {
+        mix64(seed ^ REBOOT_SALT, &[endpoint_key])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_time_the_probe_burst() {
+        let started = std::time::Instant::now();
+        let _ = SeededDriftMonitor::probe_seed(1, 2);
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

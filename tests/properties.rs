@@ -648,6 +648,171 @@ mod shard_merge {
     }
 }
 
+// ---- scrape: V2 detection totality (the drift premise) -----------------
+//
+// The self-healing drift machinery rests on two facts about the template
+// generations: the detectors are total (no page, however mangled, panics
+// them), and the generations are mutually invisible (a V2 page recognizes
+// under no V1 template, which is exactly what the drift monitor counts).
+
+mod v2_detect {
+    use super::*;
+    use decoding_divide::bat::{templates, Dialect, TemplateVersion};
+    use decoding_divide::bqt::scrape::{detect, detect_with};
+    use decoding_divide::bqt::{learn_template_set, DetectedPage, TemplateSet, GENERATIONS};
+    use decoding_divide::isp::{catalog, Plan, Tech, ALL_ISPS};
+
+    const DIALECTS: [Dialect; 3] = [Dialect::DataAttr, Dialect::TableRow, Dialect::ListItem];
+
+    fn plan(down: u32, up: u32, cents: u32) -> Plan {
+        Plan::new(
+            f64::from(down),
+            f64::from(up),
+            f64::from(cents) / 100.0,
+            Tech::Fiber,
+        )
+    }
+
+    proptest! {
+        /// Every bootstrapped generation's detector is total: arbitrary
+        /// source-shaped text never panics any dialect's parser.
+        #[test]
+        fn detect_never_panics_on_arbitrary_text(text in "[ -~\\n]{0,512}") {
+            for ts in GENERATIONS {
+                for d in DIALECTS {
+                    let _ = detect_with(ts, &text, d);
+                }
+            }
+        }
+
+        /// Splicing a real marker into garbage hits the deeper scanner
+        /// paths (truncated spans, missing closers); still total, and a
+        /// lone marker never fabricates plans.
+        #[test]
+        fn detect_never_panics_on_marker_spliced_garbage(
+            prefix in "[ -~]{0,64}",
+            suffix in "[ -~\\n]{0,256}",
+            which in 0usize..10,
+        ) {
+            const MARKERS: [&str; 10] = [
+                "class=\"oops\"",
+                "class=\"error-page\"",
+                "class=\"mdu-prompt\"",
+                "class=\"unit-prompt\"",
+                "class=\"address-error\"",
+                "class=\"addr-missing\"",
+                "data-down=\"",
+                "data-dl=\"",
+                "<td class=\"dl\">",
+                "<span class=\"down\">",
+            ];
+            let page = format!("{prefix}{}{suffix}", MARKERS[which]);
+            for ts in GENERATIONS {
+                for d in DIALECTS {
+                    if let DetectedPage::Plans(plans) = detect_with(ts, &page, d) {
+                        prop_assert!(!plans.is_empty(), "Plans is never empty");
+                    }
+                }
+            }
+        }
+
+        /// Redesigned plan pages roundtrip bit-exact under the V2 set in
+        /// every ISP's dialect — and recognize under no V1 template, which
+        /// is the sighting the drift monitor feeds on.
+        #[test]
+        fn v2_plan_pages_roundtrip_under_v2_and_hide_from_v1(
+            specs in proptest::collection::vec(
+                (1u32..=10_000, 1u32..=1_000, 100u32..=99_999),
+                1..6,
+            ),
+        ) {
+            let plans: Vec<Plan> = specs.iter().map(|&(d, u, c)| plan(d, u, c)).collect();
+            for isp in ALL_ISPS {
+                let dialect = templates::dialect_of(isp);
+                let page = templates::render_plans_v(isp, &plans, TemplateVersion::V2);
+                match detect_with(TemplateSet::v2(), &page, dialect) {
+                    DetectedPage::Plans(scraped) => {
+                        prop_assert_eq!(scraped.len(), plans.len());
+                        for (s, p) in scraped.iter().zip(&plans) {
+                            prop_assert_eq!(s.download_mbps, p.download_mbps);
+                            prop_assert_eq!(s.upload_mbps, p.upload_mbps);
+                            prop_assert_eq!(s.price_usd, p.price_usd);
+                        }
+                    }
+                    other => panic!("{isp}: expected plans, got {other:?}"),
+                }
+                prop_assert_eq!(detect(&page, dialect), DetectedPage::Unrecognized);
+            }
+        }
+
+        /// Every redesigned non-plan template classifies correctly under
+        /// the V2 set — suggestions and units in page order — and stays
+        /// invisible to the V1 bootstrap, for every ISP.
+        #[test]
+        fn v2_non_plan_pages_classify_under_v2_and_hide_from_v1(
+            names in proptest::collection::vec("[A-Za-z0-9 ]{1,24}", 1..5),
+        ) {
+            let trimmed: Vec<String> = names.iter().map(|s| s.trim().to_string()).collect();
+            let v2 = TemplateVersion::V2;
+            for isp in ALL_ISPS {
+                let dialect = templates::dialect_of(isp);
+                let cases = [
+                    (
+                        templates::render_not_found_v(isp, &names, v2),
+                        DetectedPage::AddressNotFound(trimmed.clone()),
+                    ),
+                    (
+                        templates::render_mdu_v(isp, &names, v2),
+                        DetectedPage::MultiDwellingUnit(trimmed.clone()),
+                    ),
+                    (
+                        templates::render_existing_customer_v(isp, v2),
+                        DetectedPage::ExistingCustomer,
+                    ),
+                    (templates::render_no_service_v(isp, v2), DetectedPage::NoService),
+                    (
+                        templates::render_technical_difficulty_v(isp, v2),
+                        DetectedPage::TechnicalDifficulty,
+                    ),
+                ];
+                for (page, expected) in cases {
+                    prop_assert_eq!(detect_with(TemplateSet::v2(), &page, dialect), expected);
+                    prop_assert_eq!(detect(&page, dialect), DetectedPage::Unrecognized);
+                }
+            }
+        }
+
+        /// Any probe burst holding at least one V2 page — at any junk
+        /// dilution — learns generation 2, with confidence exactly the
+        /// recognized fraction. This is the re-bootstrap's correctness on
+        /// noisy bursts.
+        #[test]
+        fn learning_picks_generation_2_from_any_mixed_v2_burst(
+            isp_i in 0usize..7,
+            picks in proptest::collection::vec(0usize..3, 1..6),
+            n_junk in 0usize..5,
+        ) {
+            let isp = ALL_ISPS[isp_i];
+            let dialect = templates::dialect_of(isp);
+            let v2 = TemplateVersion::V2;
+            let pages: Vec<String> = picks
+                .iter()
+                .map(|&k| match k {
+                    0 => templates::render_plans_v(isp, catalog(isp), v2),
+                    1 => templates::render_no_service_v(isp, v2),
+                    _ => templates::render_not_found_v(isp, &["1 Oak St".into()], v2),
+                })
+                .chain((0..n_junk).map(|i| format!("<html>junk {i}</html>")))
+                .collect();
+            let learned = learn_template_set(&pages, dialect).expect("non-empty burst");
+            prop_assert_eq!(learned.generation, 2);
+            prop_assert_eq!(learned.templates, TemplateSet::v2());
+            let expected = picks.len() as f64 / pages.len() as f64;
+            prop_assert!((learned.confidence - expected).abs() < 1e-12, "{isp}");
+        }
+    }
+}
+
 // Non-proptest cross-crate invariants that complete the suite.
 
 #[test]
