@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale quick|mid|paper] [--cities "A,B,..."] [--seed N]
-//!       [--threads N] [--out FILE] <experiment>
+//!       [--threads N] [--out FILE] [--artifacts DIR] [--quick] <experiment>
 //!
 //! experiments:
 //!   all        every table, figure, and ablation
@@ -11,6 +11,8 @@
 //!   scaling strawman ablation-matcher ablation-wait ablation-sampling
 //!   staleness audit drift chaos resume trace health longitudinal tier-flattening
 //!   markup-baseline upload-consistency robustness policy release
+//!   serve      plan-serving campaign: thread sweep + SLO dashboard
+//!              ([--quick], [--artifacts DIR] for CI byte-comparison)
 //!   lint       run divide-lint against the committed baseline
 //!   bench      run the perf trajectory, write BENCH_pr6.json ([--quick])
 //!   determinism  print per-artifact content hashes at --threads N
@@ -19,9 +21,12 @@
 //! `--scale quick` (default) runs the full pipeline with ~6 sampled
 //! addresses per block group; `--scale paper` uses the paper's 10% / ≥30
 //! methodology (hundreds of thousands of simulated queries).
+//!
+//! Every experiment lives in `bench::registry`; this binary only parses
+//! arguments, curates the shared study when the selected experiment
+//! declares it needs one, and dispatches.
 
-use bench::experiments as exp;
-use bench::experiments_ext as ext;
+use bench::registry::{self, ExperimentAction, ExperimentCtx};
 use bench::study::{resolve_cities, run_study, Scale};
 use std::io::Write;
 
@@ -31,17 +36,17 @@ struct Args {
     seed: u64,
     threads: usize,
     out: Option<String>,
+    artifacts: Option<String>,
     quick: bool,
     command: String,
 }
 
 fn usage() -> ! {
+    let names = registry::names().join(" ");
     eprintln!(
-        "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] [--out FILE] <experiment>\n\
-         experiments: all table1 table2 table3 fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b\n\
-         scaling strawman ablation-matcher ablation-wait ablation-sampling\n\
-         staleness audit drift chaos resume trace health longitudinal tier-flattening markup-baseline upload-consistency robustness policy lint\n\
-         bench [--quick]   determinism [--threads N]"
+        "usage: repro [--scale quick|mid|paper] [--cities \"A,B\"] [--seed N] [--threads N] \
+         [--out FILE] [--artifacts DIR] [--quick] <experiment>\n\
+         experiments: {names}"
     );
     std::process::exit(2);
 }
@@ -53,6 +58,7 @@ fn parse_args() -> Args {
         seed: 1,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         out: None,
+        artifacts: None,
         quick: false,
         command: String::new(),
     };
@@ -77,6 +83,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--artifacts" => args.artifacts = Some(it.next().unwrap_or_else(|| usage())),
             "--quick" => args.quick = true,
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
@@ -91,122 +98,14 @@ fn parse_args() -> Args {
     args
 }
 
-/// Runs the workspace static analyzer against the committed baseline.
-/// Exits 0 when clean, 1 on regressions or stale entries, 2 on setup
-/// errors — same contract as the standalone `divide-lint` binary.
-fn run_lint() -> ! {
-    use divide_lint::{analyze, baseline::Baseline, discover_root, Config};
-
-    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    let Some(root) = discover_root(here) else {
-        eprintln!("[repro] lint: no workspace root above {}", here.display());
-        std::process::exit(2);
-    };
-    let baseline_path = root.join("lint.baseline");
-    let baseline = match std::fs::read_to_string(&baseline_path) {
-        Ok(text) => match Baseline::parse(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("[repro] lint: {e}");
-                std::process::exit(2);
-            }
-        },
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::empty(),
-        Err(e) => {
-            eprintln!("[repro] lint: cannot read {}: {e}", baseline_path.display());
-            std::process::exit(2);
-        }
-    };
-    let outcome = match analyze(&Config::workspace(root)) {
-        Ok(findings) => baseline.judge(findings),
-        Err(e) => {
-            eprintln!("[repro] lint: {e}");
-            std::process::exit(2);
-        }
-    };
-    for f in &outcome.new {
-        println!("{f}");
-    }
-    for e in &outcome.stale {
-        println!("stale baseline entry: {}", e.render());
-    }
-    println!(
-        "[repro] lint: {} new, {} baselined, {} stale",
-        outcome.new.len(),
-        outcome.baselined.len(),
-        outcome.stale.len()
-    );
-    std::process::exit(if outcome.is_clean() { 0 } else { 1 });
-}
-
-/// Runs the five-bench perf trajectory and writes the committed record
-/// (`BENCH_pr6.json` at the workspace root unless `--out` overrides it).
-fn run_bench(args: &Args) -> ! {
-    let json = bench::perf::bench(args.quick);
-    let path = match &args.out {
-        Some(path) => std::path::PathBuf::from(path),
-        None => {
-            let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-            divide_lint::discover_root(here)
-                .unwrap_or_else(|| std::path::PathBuf::from("."))
-                .join("BENCH_pr6.json")
-        }
-    };
-    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-    print!("{json}");
-    eprintln!("[repro] wrote {}", path.display());
-    std::process::exit(0);
-}
-
-/// Prints one content hash per campaign artifact from a journaled
-/// curation at `--threads N`; outputs at different thread counts must be
-/// byte-identical (CI diffs them).
-fn run_determinism(args: &Args) -> ! {
-    let report = bench::perf::determinism(args.seed, args.threads);
-    match &args.out {
-        Some(path) => {
-            std::fs::write(path, &report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-            eprintln!("[repro] wrote {path}");
-        }
-        None => print!("{report}"),
-    }
-    std::process::exit(0);
-}
-
 fn main() {
     let args = parse_args();
+    let Some(experiment) = registry::find(&args.command) else {
+        eprintln!("[repro] unknown experiment: {}", args.command);
+        usage();
+    };
 
-    if args.command == "lint" {
-        run_lint();
-    }
-    if args.command == "bench" {
-        run_bench(&args);
-    }
-    if args.command == "determinism" {
-        run_determinism(&args);
-    }
-
-    // Static and self-contained experiments need no study run.
-    let needs_study = !matches!(
-        args.command.as_str(),
-        "table1"
-            | "fig3"
-            | "scaling"
-            | "strawman"
-            | "ablation-matcher"
-            | "ablation-wait"
-            | "ablation-sampling"
-            | "staleness"
-            | "audit"
-            | "drift"
-            | "chaos"
-            | "resume"
-            | "trace"
-            | "health"
-            | "longitudinal"
-    );
-
-    let study = if needs_study {
+    let study = if experiment.needs_study() {
         let cities = resolve_cities(args.cities.as_deref());
         eprintln!(
             "[repro] curating {} cities at {:?} scale on {} threads ...",
@@ -224,52 +123,27 @@ fn main() {
     } else {
         None
     };
-    let study = study.as_ref();
 
-    let report = match args.command.as_str() {
-        "all" => exp::all_reports(study.expect("study"), args.seed),
-        "table1" => exp::table1(),
-        "table2" => exp::table2(study.expect("study")),
-        "table3" => exp::table3(study.expect("study")),
-        "fig2a" => exp::fig2a(study.expect("study")),
-        "fig2b" => exp::fig2b(study.expect("study")),
-        "fig3" => exp::fig3(),
-        "fig4" => exp::fig4(study.expect("study")),
-        "fig5" => exp::fig5(study.expect("study")),
-        "fig6" => exp::fig6(study.expect("study")),
-        "fig7" => exp::fig7(study.expect("study")),
-        "fig8" => exp::fig8(study.expect("study")),
-        "fig9a" => exp::fig9a(study.expect("study")),
-        "fig9b" => exp::fig9b(study.expect("study")),
-        "scaling" => exp::scaling(args.seed),
-        "strawman" => exp::strawman_vs_bqt(args.seed),
-        "ablation-matcher" => exp::ablation_matcher(args.seed),
-        "ablation-wait" => exp::ablation_wait(args.seed),
-        "ablation-sampling" => exp::ablation_sampling(args.seed),
-        "staleness" => ext::staleness(args.seed),
-        "audit" => ext::audit(args.seed),
-        "drift" => ext::drift(args.seed),
-        "chaos" => ext::chaos(args.seed),
-        "resume" => ext::resume(args.seed),
-        "trace" => ext::trace(args.seed),
-        "health" => ext::health(args.seed),
-        "longitudinal" => ext::longitudinal(args.seed, args.threads),
-        "tier-flattening" => ext::tier_flattening_report(study.expect("study")),
-        "markup-baseline" => ext::markup_baseline(study.expect("study")),
-        "upload-consistency" => ext::upload_consistency_report(study.expect("study")),
-        "robustness" => ext::robustness(study.expect("study")),
-        "policy" => ext::policy(study.expect("study")),
-        "release" => ext::release(study.expect("study"), "release", args.seed),
-        _ => usage(),
+    let ctx = ExperimentCtx {
+        study: study.as_ref(),
+        seed: args.seed,
+        threads: args.threads,
+        scale: args.scale,
+        quick: args.quick,
+        out: args.out.as_deref(),
+        artifacts: args.artifacts.as_deref(),
     };
 
-    match &args.out {
-        Some(path) => {
-            let mut f =
-                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-            f.write_all(report.as_bytes()).expect("write report");
-            eprintln!("[repro] wrote {path}");
-        }
-        None => print!("{report}"),
+    match experiment.run(&ctx) {
+        ExperimentAction::Exit(code) => std::process::exit(code),
+        ExperimentAction::Report(report) => match &args.out {
+            Some(path) => {
+                let mut f = std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+                f.write_all(report.as_bytes()).expect("write report");
+                eprintln!("[repro] wrote {path}");
+            }
+            None => print!("{report}"),
+        },
     }
 }

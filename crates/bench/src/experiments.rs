@@ -606,10 +606,7 @@ pub fn ablation_matcher(seed: u64) -> String {
         ("Jaro-Winkler", Measure::JaroWinkler),
         ("Token-sort", Measure::TokenSort),
     ] {
-        let opts = CurationOptions {
-            measure,
-            ..CurationOptions::quick(seed)
-        };
+        let opts = CurationOptions::quick(seed).measure(measure);
         let ds = curate_city(city, &opts);
         let mut total = Metrics::new();
         for (_, m) in &ds.per_isp_metrics {
@@ -696,13 +693,11 @@ pub fn ablation_sampling(seed: u64) -> String {
     // Reference: exhaustive sampling.
     let reference = curate_city(
         city,
-        &CurationOptions {
-            sample_rate: 1.0,
-            min_samples: 1,
-            max_samples_per_bg: None,
-            calibration_samples: 10,
-            ..CurationOptions::paper_default(seed)
-        },
+        &CurationOptions::paper_default(seed)
+            .sample_rate(1.0)
+            .min_samples(1)
+            .max_samples_per_bg(None)
+            .calibration_samples(10),
     );
     let ref_rows = bbsim_dataset::aggregate_block_groups(&reference.records);
     let ref_map: HashMap<(Isp, usize), (f64, bool)> = ref_rows
@@ -720,13 +715,11 @@ pub fn ablation_sampling(seed: u64) -> String {
     for &rate in &[0.02, 0.05, 0.10, 0.20] {
         let ds = curate_city(
             city,
-            &CurationOptions {
-                sample_rate: rate,
-                min_samples: 3,
-                max_samples_per_bg: None,
-                calibration_samples: 10,
-                ..CurationOptions::paper_default(seed + 1)
-            },
+            &CurationOptions::paper_default(seed + 1)
+                .sample_rate(rate)
+                .min_samples(3)
+                .max_samples_per_bg(None)
+                .calibration_samples(10),
         );
         let rows = bbsim_dataset::aggregate_block_groups(&ds.records);
         let mut errs = Vec::new();

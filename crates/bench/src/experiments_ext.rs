@@ -30,10 +30,7 @@ pub fn staleness(seed: u64) -> String {
     ]);
     let mut baseline: Option<std::collections::HashMap<(Isp, usize), f64>> = None;
     for epoch in [0u32, 1, 2, 4, 6] {
-        let opts = CurationOptions {
-            epoch,
-            ..CurationOptions::quick(seed)
-        };
+        let opts = CurationOptions::quick(seed).epoch(epoch);
         let ds = curate_city(city, &opts);
         let rows = aggregate_block_groups(&ds.records);
         let fiber = rows
@@ -1247,10 +1244,7 @@ pub fn longitudinal(seed: u64, threads: usize) -> String {
     let waves = Campaign::epochs(4, |epoch| {
         Ok(curate_city(
             city,
-            &bbsim_dataset::CurationOptions {
-                epoch: epoch * 2,
-                ..bbsim_dataset::CurationOptions::quick(seed)
-            },
+            &bbsim_dataset::CurationOptions::quick(seed).epoch(epoch * 2),
         ))
     })
     .expect("journal-less waves");

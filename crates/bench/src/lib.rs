@@ -6,7 +6,11 @@
 //!   plain-text report with the same rows/series the paper plots;
 //! * [`perf`] — the committed perf trajectory (`repro bench` →
 //!   `BENCH_prN.json`) and the cross-thread determinism probe;
-//! * the `repro` binary dispatches to them (`repro --help`);
+//! * [`registry`] — every experiment as a value behind one
+//!   [`Experiment`](registry::Experiment) trait; the `repro` binary is
+//!   argument parsing plus one lookup;
+//! * [`serve_exp`] — the `repro serve` plan-serving campaign: thread
+//!   sweep, byte-identity digests and the SLO dashboard;
 //! * `benches/` holds the Criterion micro-benchmarks for the
 //!   performance-sensitive components (matcher, Moran's I, KS, framing,
 //!   query path, pipeline).
@@ -14,6 +18,9 @@
 pub mod experiments;
 pub mod experiments_ext;
 pub mod perf;
+pub mod registry;
+pub mod serve_exp;
 pub mod study;
 
+pub use registry::{Experiment, ExperimentAction, ExperimentCtx, FnExperiment};
 pub use study::{run_study, Scale, StudyDataset};

@@ -16,6 +16,7 @@ use bbsim_bat::{templates, BatServer};
 use bbsim_census::city_by_name;
 use bbsim_isp::{CityWorld, Isp};
 use bbsim_net::{fnv1a, Endpoint, Request, SimDuration, SimIp, SimTime, Transport};
+use bbsim_serve::{LoadPhase, Router, ServeOptions, ServeQuery};
 use bqt::telemetry::Event;
 use bqt::{
     AttemptEntry, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, MetricsAggregator,
@@ -24,14 +25,17 @@ use bqt::{
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The five bench names every `BENCH_pr6.json` must carry (CI greps for
-/// each).
-pub const BENCH_NAMES: [&str; 5] = [
+/// The bench names every `BENCH_pr6.json` must carry (CI greps for the
+/// historical five; the serve pair rides along since the serving layer
+/// landed).
+pub const BENCH_NAMES: [&str; 7] = [
     "journal_append",
     "jsonl_encode",
     "bat_page_step",
     "aggregator_observe",
     "campaign_throughput",
+    "serve_lookup",
+    "serve_throughput",
 ];
 
 const SEED: u64 = 6;
@@ -236,6 +240,65 @@ pub fn bench(quick: bool) -> String {
         ));
     }
 
+    // 6. Serve lookup: one query through the router (store probe +
+    // answer-cache insert/hit), over the same zipfian stream the serve
+    // campaign replays.
+    let store = Arc::new(crate::serve_exp::build_store(SEED));
+    let queries: Vec<ServeQuery> = {
+        let shard = store.shard(0).expect("store has shards");
+        bbsim_serve::load::generate_schedule(0, shard, &[LoadPhase::steady(30_000, 12)], SEED)
+            .into_iter()
+            .flat_map(|a| a.request.queries().to_vec())
+            .collect()
+    };
+    let ns = time_ns_per_op(
+        samples,
+        iters,
+        || Router::new(store.clone(), 128),
+        |router, i| {
+            router.route(&queries[(i as usize) % queries.len()]);
+        },
+    );
+    out.push(micro_json("serve_lookup", ns, iters, samples));
+
+    // 7. Serve throughput: the sharded serve campaign end to end
+    // (schedule generation, HTTP framing, cache, telemetry merge) at
+    // the same thread sweep as the curation campaign.
+    let serve_opts = {
+        let mut o = ServeOptions::quick(SEED);
+        if quick {
+            o.phases = vec![
+                LoadPhase::steady(20_000, 12),
+                LoadPhase::scan(5_000, 3),
+                LoadPhase::steady(10_000, 12),
+            ];
+        }
+        o
+    };
+    let serve_reps = if quick { 2 } else { 3 };
+    let mut best_serve_ms = [f64::INFINITY; 3];
+    let mut lookups = 0u64;
+    for _ in 0..serve_reps {
+        for (slot, &threads) in sweep.iter().enumerate() {
+            let started = Instant::now();
+            let outcome = bbsim_serve::run(&store, &serve_opts.clone().threads(threads));
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            lookups = outcome.lookups();
+            if ms < best_serve_ms[slot] {
+                best_serve_ms[slot] = ms;
+            }
+        }
+    }
+    for (slot, &threads) in sweep.iter().enumerate() {
+        let elapsed_ms = best_serve_ms[slot];
+        let lps = lookups as f64 / (elapsed_ms / 1e3);
+        out.push(format!(
+            "    {{ \"name\": \"serve_throughput\", \"threads\": {threads}, \
+             \"lookups\": {lookups}, \"elapsed_ms\": {elapsed_ms:.1}, \
+             \"lookups_per_sec\": {lps:.1} }}"
+        ));
+    }
+
     format!(
         "{{\n  \"pr\": 6,\n  \"mode\": \"{}\",\n  \"benches\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
@@ -331,7 +394,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_json_carries_all_five_names() {
+    fn bench_json_carries_every_bench_name() {
         let json = bench(true);
         for name in BENCH_NAMES {
             assert!(json.contains(&format!("\"name\": \"{name}\"")), "{json}");

@@ -24,11 +24,9 @@ impl Scale {
     pub fn options(self, seed: u64) -> CurationOptions {
         match self {
             Scale::Quick => CurationOptions::quick(seed),
-            Scale::Mid => CurationOptions {
-                min_samples: 12,
-                max_samples_per_bg: Some(12),
-                ..CurationOptions::quick(seed)
-            },
+            Scale::Mid => CurationOptions::quick(seed)
+                .min_samples(12)
+                .max_samples_per_bg(Some(12)),
             Scale::Paper => CurationOptions::paper_default(seed),
         }
     }

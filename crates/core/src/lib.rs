@@ -91,6 +91,7 @@ pub use telemetry::{
 pub mod prelude {
     pub use crate::campaign::{Campaign, CampaignOutcome};
     pub use crate::client::{BqtConfig, WaitPolicy};
+    pub use crate::drift::{DriftMonitor, DriftReport};
     pub use crate::driver::{query_address, QueryJob, QueryOutcome, QueryRecord};
     pub use crate::journal::{Journal, JournalError};
     pub use crate::metrics::Metrics;

@@ -115,6 +115,18 @@ pub fn render_prometheus(sections: &[CampaignSection]) -> String {
         sections,
         |s| s.telemetry.rebootstraps_completed,
     );
+    counter(&mut out, "bqt_serve_lookups_total", sections, |s| {
+        s.telemetry.serve_lookups
+    });
+    counter(&mut out, "bqt_serve_cache_hits_total", sections, |s| {
+        s.telemetry.serve_cache_hits
+    });
+    counter(&mut out, "bqt_serve_cache_evictions_total", sections, |s| {
+        s.telemetry.cache_evictions
+    });
+    counter(&mut out, "bqt_serve_shed_total", sections, |s| {
+        s.telemetry.serve_sheds
+    });
     gauge(&mut out, "bqt_makespan_ms", sections, |s| {
         s.health.makespan_ms
     });
@@ -175,6 +187,9 @@ pub fn render_prometheus(sections: &[CampaignSection]) -> String {
     });
     histogram(&mut out, "bqt_pages_per_session", sections, |s| {
         &s.telemetry.pages_per_session
+    });
+    histogram(&mut out, "bqt_serve_lookup_latency_ms", sections, |s| {
+        &s.telemetry.lookup_latency
     });
     let _ = writeln!(&mut out, "# TYPE bqt_endpoint_attempt_latency_ms histogram");
     for s in sections {

@@ -55,6 +55,12 @@ pub fn advances_watermark(kind: &EventKind) -> bool {
             | EventKind::BreakerDefer { .. }
             | EventKind::WorkerEnd { .. }
             | EventKind::CampaignEnd { .. }
+            // Serve-side kinds reach the monitor through the pre-sorted
+            // merged shard stream, so their stamps are already monotone
+            // and safe to treat as loop-current.
+            | EventKind::ServeLookupEnd { .. }
+            | EventKind::CacheEvicted { .. }
+            | EventKind::ServeShed { .. }
     )
 }
 

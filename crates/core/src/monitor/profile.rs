@@ -83,6 +83,28 @@ impl PhaseProfiler {
                     *self.frames.entry(stack).or_default() += duration_ms;
                 }
             }
+            EventKind::ServeLookupEnd {
+                shard,
+                endpoint,
+                outcome,
+                cache_hit,
+                duration_ms,
+                ..
+            } => {
+                // The serve engine runs one virtual worker per shard, so
+                // shard id doubles as the worker frame.
+                *self.busy_ms.entry(*shard).or_default() += duration_ms;
+                let stack = format!(
+                    "worker_{shard:04};{endpoint};lookup;{};{}",
+                    if *cache_hit {
+                        "cache_hit"
+                    } else {
+                        "cache_miss"
+                    },
+                    outcome.as_str()
+                );
+                *self.frames.entry(stack).or_default() += duration_ms;
+            }
             _ => {}
         }
     }

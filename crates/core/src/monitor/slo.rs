@@ -35,6 +35,9 @@ pub enum SloSignal {
     /// Fraction of windowed attempts whose pages the template set
     /// recognized (breaches *below* threshold) — the drift signal.
     MatchConfidence,
+    /// Fraction of windowed serve lookups the LRU answer cache satisfied
+    /// (breaches *below* threshold).
+    CacheHitRate,
 }
 
 impl SloSignal {
@@ -63,6 +66,7 @@ impl SloSignal {
             SloSignal::WorkersLive => Some(snap.workers_live as f64),
             SloSignal::QueueDepth => Some(snap.jobs_open as f64),
             SloSignal::MatchConfidence => snap.match_confidence(),
+            SloSignal::CacheHitRate => snap.cache_hit_rate(),
         }
     }
 
@@ -71,7 +75,10 @@ impl SloSignal {
     fn breaches_below(&self) -> bool {
         matches!(
             self,
-            SloSignal::HitRate | SloSignal::WorkersLive | SloSignal::MatchConfidence
+            SloSignal::HitRate
+                | SloSignal::WorkersLive
+                | SloSignal::MatchConfidence
+                | SloSignal::CacheHitRate
         )
     }
 }
@@ -136,6 +143,13 @@ impl SloRule {
     /// bootstrapped template set.
     pub fn match_confidence_at_least(threshold: f64) -> Self {
         Self::base("match_confidence", SloSignal::MatchConfidence, threshold)
+    }
+
+    /// Serve answer-cache hit rate must stay at or above `threshold` —
+    /// a collapse means the request mix outran the cache (e.g. a
+    /// cache-hostile scan is sweeping distinct keys).
+    pub fn cache_hit_rate_at_least(threshold: f64) -> Self {
+        Self::base("cache_hit_rate", SloSignal::CacheHitRate, threshold)
     }
 
     /// Scopes the rule to one endpoint and tags the name with it.

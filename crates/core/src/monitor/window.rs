@@ -24,6 +24,10 @@ struct Bucket {
     stalls: u64,
     drift_suspected: u64,
     rebootstraps: u64,
+    cache_lookups: u64,
+    cache_hits: u64,
+    cache_evictions: u64,
+    serve_sheds: u64,
     per_endpoint: BTreeMap<String, EndpointWindow>,
 }
 
@@ -39,6 +43,10 @@ impl Bucket {
         snap.stalls += self.stalls;
         snap.drift_suspected += self.drift_suspected;
         snap.rebootstraps += self.rebootstraps;
+        snap.cache_lookups += self.cache_lookups;
+        snap.cache_hits += self.cache_hits;
+        snap.cache_evictions += self.cache_evictions;
+        snap.serve_sheds += self.serve_sheds;
         for (endpoint, e) in &self.per_endpoint {
             let t = snap.per_endpoint.entry(endpoint.clone()).or_default();
             t.attempts += e.attempts;
@@ -94,6 +102,14 @@ pub struct WindowSnapshot {
     pub drift_suspected: u64,
     /// Re-bootstrap cycles begun inside the window.
     pub rebootstraps: u64,
+    /// Serve lookups inside the window (cache hits + misses).
+    pub cache_lookups: u64,
+    /// Serve lookups the LRU answer cache satisfied inside the window.
+    pub cache_hits: u64,
+    /// Serve answer-cache evictions inside the window.
+    pub cache_evictions: u64,
+    /// Serve lookups refused at admission inside the window.
+    pub serve_sheds: u64,
     pub per_endpoint: BTreeMap<String, EndpointWindow>,
     /// Workers currently inside their worker span.
     pub workers_live: u32,
@@ -126,6 +142,11 @@ impl WindowSnapshot {
     pub fn match_confidence(&self) -> Option<f64> {
         (self.attempts > 0)
             .then(|| 1.0 - self.drift_suspected.min(self.attempts) as f64 / self.attempts as f64)
+    }
+
+    /// Fraction of windowed serve lookups the answer cache satisfied.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        (self.cache_lookups > 0).then(|| self.cache_hits as f64 / self.cache_lookups as f64)
     }
 }
 
@@ -217,6 +238,29 @@ impl SlidingWindow {
                     .drift_suspected += 1;
             }
             EventKind::RebootstrapStarted { .. } => bucket.rebootstraps += 1,
+            EventKind::ServeLookupEnd {
+                endpoint,
+                outcome,
+                cache_hit,
+                duration_ms,
+                ..
+            } => {
+                bucket.attempts += 1;
+                bucket.latency.record(*duration_ms);
+                bucket.cache_lookups += 1;
+                if *cache_hit {
+                    bucket.cache_hits += 1;
+                }
+                let e = bucket.per_endpoint.entry(endpoint.clone()).or_default();
+                e.attempts += 1;
+                e.latency.record(*duration_ms);
+                if outcome.is_hit() {
+                    bucket.hits += 1;
+                    e.hits += 1;
+                }
+            }
+            EventKind::CacheEvicted { .. } => bucket.cache_evictions += 1,
+            EventKind::ServeShed { .. } => bucket.serve_sheds += 1,
             EventKind::WorkerBegin { .. } => self.workers_live += 1,
             EventKind::WorkerEnd { .. } => self.workers_live = self.workers_live.saturating_sub(1),
             EventKind::JobBegin { .. } => self.jobs_open += 1,

@@ -209,12 +209,22 @@ pub struct TelemetrySummary {
     pub templates_swapped: u64,
     /// Endpoint quarantines closed (`RebootstrapCompleted` events).
     pub rebootstraps_completed: u64,
+    /// Serve-layer lookups finished (`ServeLookupEnd` events).
+    pub serve_lookups: u64,
+    /// Serve lookups answered from the LRU answer cache.
+    pub serve_cache_hits: u64,
+    /// Serve answer-cache evictions (`CacheEvicted` events).
+    pub cache_evictions: u64,
+    /// Serve lookups refused at admission (`ServeShed` events).
+    pub serve_sheds: u64,
     /// Attempt latency across all endpoints.
     pub attempt_latency: Histogram,
     /// Backoff delay per scheduled retry.
     pub backoff_delay: Histogram,
     /// Pages per session across all endpoints.
     pub pages_per_session: Histogram,
+    /// Requester-perceived serve lookup latency (queue wait + round trip).
+    pub lookup_latency: Histogram,
     /// Stats keyed by endpoint name.
     pub per_endpoint: BTreeMap<String, EndpointStats>,
     /// Stats keyed by worker id.
@@ -295,6 +305,27 @@ impl MetricsAggregator {
             EventKind::RebootstrapStarted { .. } => s.rebootstraps_started += 1,
             EventKind::TemplateSwapped { .. } => s.templates_swapped += 1,
             EventKind::RebootstrapCompleted { .. } => s.rebootstraps_completed += 1,
+            EventKind::ServeLookupEnd {
+                endpoint,
+                outcome,
+                cache_hit,
+                duration_ms,
+                ..
+            } => {
+                s.serve_lookups += 1;
+                if *cache_hit {
+                    s.serve_cache_hits += 1;
+                }
+                s.lookup_latency.record(*duration_ms);
+                let e = s.per_endpoint.entry(endpoint.clone()).or_default();
+                e.attempts += 1;
+                if outcome.is_hit() {
+                    e.hits += 1;
+                }
+                e.latency.record(*duration_ms);
+            }
+            EventKind::CacheEvicted { .. } => s.cache_evictions += 1,
+            EventKind::ServeShed { .. } => s.serve_sheds += 1,
             EventKind::JournalReplay { .. } => s.replayed_attempts += 1,
             EventKind::FaultInjected { .. } => s.faults_injected += 1,
             EventKind::PageFetchBegin { .. } => s.page_fetches += 1,

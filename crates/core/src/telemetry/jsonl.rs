@@ -117,6 +117,29 @@ pub fn to_line(event: &Event) -> String {
             w.str("endpoint", endpoint);
             w.num("confidence_pct", *confidence_pct as u64);
         }
+        EventKind::ServeLookupEnd {
+            tag,
+            shard,
+            endpoint,
+            outcome,
+            cache_hit,
+            duration_ms,
+        } => {
+            w.num("tag", *tag);
+            w.num("shard", *shard as u64);
+            w.str("endpoint", endpoint);
+            w.str("outcome", outcome.as_str());
+            w.boolean("cache_hit", *cache_hit);
+            w.num("duration_ms", *duration_ms);
+        }
+        EventKind::CacheEvicted { shard, key } => {
+            w.num("shard", *shard as u64);
+            w.str("key", key);
+        }
+        EventKind::ServeShed { shard, endpoint } => {
+            w.num("shard", *shard as u64);
+            w.str("endpoint", endpoint);
+        }
         EventKind::JournalReplay { tag, attempt } => {
             w.num("tag", *tag);
             w.num("attempt", *attempt as u64);
@@ -316,6 +339,22 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
         "rebootstrap_completed" => EventKind::RebootstrapCompleted {
             endpoint: f.str("endpoint")?,
             confidence_pct: f.num_u32("confidence_pct")?,
+        },
+        "serve_lookup_end" => EventKind::ServeLookupEnd {
+            tag: f.num("tag")?,
+            shard: f.num_u32("shard")?,
+            endpoint: f.str("endpoint")?,
+            outcome: f.outcome("outcome")?,
+            cache_hit: f.boolean("cache_hit")?,
+            duration_ms: f.num("duration_ms")?,
+        },
+        "cache_evicted" => EventKind::CacheEvicted {
+            shard: f.num_u32("shard")?,
+            key: f.str("key")?,
+        },
+        "serve_shed" => EventKind::ServeShed {
+            shard: f.num_u32("shard")?,
+            endpoint: f.str("endpoint")?,
         },
         "journal_replay" => EventKind::JournalReplay {
             tag: f.num("tag")?,
@@ -713,6 +752,31 @@ mod tests {
                 EventKind::RebootstrapCompleted {
                     endpoint: "centurylink/billings".into(),
                     confidence_pct: 95,
+                },
+            ),
+            e(
+                93_000,
+                EventKind::ServeLookupEnd {
+                    tag: 9_001,
+                    shard: 3,
+                    endpoint: "serve/billings/att".into(),
+                    outcome: OutcomeCode::Plans,
+                    cache_hit: true,
+                    duration_ms: 4,
+                },
+            ),
+            e(
+                93_500,
+                EventKind::CacheEvicted {
+                    shard: 3,
+                    key: "plans/billings/att/77".into(),
+                },
+            ),
+            e(
+                94_000,
+                EventKind::ServeShed {
+                    shard: 3,
+                    endpoint: "serve/billings/att".into(),
                 },
             ),
             e(95_000, EventKind::StallReclaimed { tag: 43, worker: 2 }),

@@ -226,6 +226,25 @@ pub enum EventKind {
         endpoint: String,
         confidence_pct: u32,
     },
+    /// A serve-layer lookup completed: the plan store answered (from the
+    /// LRU answer cache or the shard index) and the response crossed the
+    /// wire. `duration_ms` is the requester-perceived latency — queueing
+    /// wait plus the full round trip.
+    ServeLookupEnd {
+        tag: u64,
+        shard: u32,
+        endpoint: String,
+        outcome: OutcomeCode,
+        cache_hit: bool,
+        duration_ms: u64,
+    },
+    /// The serve answer cache evicted `key` to admit a new entry. The
+    /// eviction order is part of the serve determinism contract: same
+    /// seed + same request stream → byte-identical eviction log.
+    CacheEvicted { shard: u32, key: String },
+    /// The serve layer refused a lookup at admission: the shard's queue
+    /// was too deep for the request to meet its latency budget.
+    ServeShed { shard: u32, endpoint: String },
     /// The attempt was answered from the journal, not the transport.
     /// *Ephemeral*: only resumed runs emit it.
     JournalReplay { tag: u64, attempt: u32 },
@@ -275,7 +294,10 @@ impl EventKind {
             | EventKind::DriftSuspected { .. }
             | EventKind::RebootstrapStarted { .. }
             | EventKind::TemplateSwapped { .. }
-            | EventKind::RebootstrapCompleted { .. } => true,
+            | EventKind::RebootstrapCompleted { .. }
+            | EventKind::ServeLookupEnd { .. }
+            | EventKind::CacheEvicted { .. }
+            | EventKind::ServeShed { .. } => true,
             EventKind::JournalReplay { .. }
             | EventKind::FaultInjected { .. }
             | EventKind::PageFetchBegin { .. }
@@ -306,6 +328,9 @@ impl EventKind {
             EventKind::RebootstrapStarted { .. } => "rebootstrap_started",
             EventKind::TemplateSwapped { .. } => "template_swapped",
             EventKind::RebootstrapCompleted { .. } => "rebootstrap_completed",
+            EventKind::ServeLookupEnd { .. } => "serve_lookup_end",
+            EventKind::CacheEvicted { .. } => "cache_evicted",
+            EventKind::ServeShed { .. } => "serve_shed",
             EventKind::JournalReplay { .. } => "journal_replay",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::AlertFired { .. } => "alert_fired",

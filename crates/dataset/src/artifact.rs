@@ -1,0 +1,117 @@
+//! Per-city dataset artifacts: the curated record set of one city in
+//! the release CSV schema, as the unit the serving layer loads.
+//!
+//! A [`CityArtifact`] is what one `curate_city` run leaves behind once
+//! the campaign telemetry is stripped away: the city name and its
+//! curated [`PlanRecord`]s. The text form reuses the release CSV codec
+//! ([`records_to_csv`]/[`records_from_csv`]) unsalted, so an artifact
+//! round-trips byte-identically and stays diffable next to the public
+//! dataset files.
+
+use crate::csvio::{records_from_csv, records_to_csv, CsvError};
+use crate::pipeline::CityDataset;
+use crate::record::PlanRecord;
+use std::io;
+use std::path::Path;
+
+/// One city's curated record set, ready for the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityArtifact {
+    pub city: String,
+    pub records: Vec<PlanRecord>,
+}
+
+/// A defect while loading an artifact file.
+#[derive(Debug)]
+pub enum ArtifactError {
+    Io(io::Error),
+    Csv(CsvError),
+    /// The artifact parsed but holds no records, so no city name is
+    /// recoverable from it.
+    Empty,
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact io: {e}"),
+            ArtifactError::Csv(e) => write!(f, "artifact csv: {e}"),
+            ArtifactError::Empty => write!(f, "artifact holds no records"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<CsvError> for ArtifactError {
+    fn from(e: CsvError) -> Self {
+        ArtifactError::Csv(e)
+    }
+}
+
+impl CityArtifact {
+    /// Snapshots a curated dataset into its serving artifact.
+    pub fn from_dataset(dataset: &CityDataset) -> CityArtifact {
+        CityArtifact {
+            city: dataset.city.name.to_string(),
+            records: dataset.records.clone(),
+        }
+    }
+
+    /// The artifact's text form: the release CSV schema, unsalted.
+    pub fn to_text(&self) -> String {
+        records_to_csv(&self.records, None)
+    }
+
+    /// Parses an artifact back from its text form; the city name comes
+    /// from the records themselves.
+    pub fn from_text(text: &str) -> Result<CityArtifact, ArtifactError> {
+        let records = records_from_csv(text)?;
+        let city = records
+            .first()
+            .map(|r| r.city.clone())
+            .ok_or(ArtifactError::Empty)?;
+        Ok(CityArtifact { city, records })
+    }
+
+    /// Writes the artifact to `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads an artifact from `path`.
+    pub fn load(path: &Path) -> Result<CityArtifact, ArtifactError> {
+        Self::from_text(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{curate_city, CurationOptions};
+
+    #[test]
+    fn artifacts_round_trip_through_text() {
+        let city = bbsim_census::city_by_name("Fargo").expect("study city");
+        let dataset = curate_city(city, &CurationOptions::quick(11));
+        let artifact = CityArtifact::from_dataset(&dataset);
+        assert_eq!(artifact.city, "Fargo");
+        assert!(!artifact.records.is_empty());
+        let text = artifact.to_text();
+        let revived = CityArtifact::from_text(&text).expect("own text form");
+        assert_eq!(revived, artifact);
+        assert_eq!(revived.to_text(), text, "text form is a fixed point");
+    }
+
+    #[test]
+    fn empty_text_is_rejected() {
+        let err = CityArtifact::from_text("city,isp,address,geoid,bg_index,plans\n");
+        assert!(matches!(err, Err(ArtifactError::Empty)));
+    }
+}

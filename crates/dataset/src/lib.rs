@@ -17,10 +17,12 @@
 //! * [`longitudinal`] — the snapshot diff engine: plan churn between two
 //!   curations of the same sample (the epoch-wave study's core);
 //! * [`anonymize`] — the hashed public-release form of the dataset;
-//! * [`csvio`] — plain-text CSV export/import for interchange.
+//! * [`csvio`] — plain-text CSV export/import for interchange;
+//! * [`artifact`] — per-city record snapshots the serving layer loads.
 
 pub mod aggregate;
 pub mod anonymize;
+pub mod artifact;
 pub mod csvio;
 pub mod longitudinal;
 pub mod pipeline;
@@ -28,6 +30,7 @@ pub mod record;
 
 pub use aggregate::{aggregate_block_groups, BlockGroupRow};
 pub use anonymize::anonymize_tag;
+pub use artifact::{ArtifactError, CityArtifact};
 pub use longitudinal::{diff_epochs, diff_snapshots, Churn, SnapshotDiff};
 pub use pipeline::{
     curate_city, curate_city_journaled, curate_city_with_faults, CityDataset, CurationOptions,

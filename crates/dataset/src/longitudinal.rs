@@ -337,7 +337,7 @@ mod tests {
         opts.min_samples = 2;
         opts.max_samples_per_bg = Some(2);
         let wave0 = curate_city(city, &opts);
-        let wave1 = curate_city(city, &CurationOptions { epoch: 6, ..opts });
+        let wave1 = curate_city(city, &opts.epoch(6));
         let diff = diff_snapshots(&wave0.records, &wave1.records);
         // Sampling is epoch-invariant, so nearly every address matches
         // across waves (the residue is addresses that only produced a

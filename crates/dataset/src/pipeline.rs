@@ -18,6 +18,13 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// Knobs for a curation run.
+///
+/// Constructed via [`CurationOptions::paper_default`] /
+/// [`CurationOptions::quick`] plus the consuming setters (mirroring the
+/// `Campaign` builder style): fields stay readable everywhere, but
+/// `#[non_exhaustive]` reserves the right to grow knobs without
+/// breaking downstream literals.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurationOptions {
     /// Fraction of each block group's addresses to sample (paper: 0.10).
@@ -100,6 +107,72 @@ impl CurationOptions {
     /// The same options with a retry policy attached.
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
+        self
+    }
+
+    /// Overrides the per-block-group sampling fraction.
+    pub fn sample_rate(mut self, rate: f64) -> Self {
+        self.sample_rate = rate;
+        self
+    }
+
+    /// Overrides the per-block-group sample floor.
+    pub fn min_samples(mut self, n: usize) -> Self {
+        self.min_samples = n;
+        self
+    }
+
+    /// Overrides the per-block-group sample cap.
+    pub fn max_samples_per_bg(mut self, cap: Option<usize>) -> Self {
+        self.max_samples_per_bg = cap;
+        self
+    }
+
+    /// Overrides the worker-container count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Overrides the settle-pause calibration sample count.
+    pub fn calibration_samples(mut self, n: usize) -> Self {
+        self.calibration_samples = n;
+        self
+    }
+
+    /// Overrides the suggestion-matching measure.
+    pub fn measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Overrides the world epoch (months since the first snapshot).
+    pub fn epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Overrides the hung-session watchdog deadline.
+    pub fn watchdog(mut self, deadline: SimDuration) -> Self {
+        self.watchdog = deadline;
+        self
+    }
+
+    /// Attaches an adaptive load-shedding policy.
+    pub fn shed(mut self, policy: ShedPolicy) -> Self {
+        self.shed = Some(policy);
+        self
+    }
+
+    /// Arms the template-drift watch as `(window, threshold)`.
+    pub fn drift(mut self, window: usize, threshold: f64) -> Self {
+        self.drift = Some((window, threshold));
+        self
+    }
+
+    /// Overrides the OS-thread count for journaled (sharded) curation.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }

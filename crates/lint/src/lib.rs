@@ -127,8 +127,9 @@ pub struct Config {
     pub d2_scopes: Vec<String>,
     /// D3: supervision code paths.
     pub d3_scopes: Vec<String>,
-    /// E1: the telemetry schema surfaces (None disables the rule).
-    pub e1: Option<E1Config>,
+    /// E1: the closed event/query schemas to keep exhaustive — one
+    /// entry per enum surface (empty disables the rule).
+    pub e1: Vec<E1Config>,
     /// W1: member manifest globs that must opt into workspace lints
     /// (None disables the rule).
     pub w1_member_dirs: Option<Vec<String>>,
@@ -166,6 +167,7 @@ impl Config {
                 "crates/net/src/".into(),
                 "crates/core/src/".into(),
                 "crates/dataset/src/".into(),
+                "crates/serve/src/".into(),
             ],
             // Files that emit serialized or ordered artifacts: the WAL,
             // the JSONL event log, the Prometheus exposition, the folded
@@ -176,6 +178,7 @@ impl Config {
                 "crates/core/src/monitor/".into(),
                 "crates/core/src/shard.rs".into(),
                 "crates/dataset/src/".into(),
+                "crates/serve/src/".into(),
             ],
             // Supervision paths: a panic here takes down a campaign (or a
             // recorder fan-out) instead of surfacing a typed error.
@@ -183,17 +186,33 @@ impl Config {
                 "crates/core/src/".into(),
                 "crates/dataset/src/pipeline.rs".into(),
             ],
-            e1: Some(E1Config {
-                enum_file: "crates/core/src/telemetry/mod.rs".into(),
-                enum_name: "EventKind".into(),
-                name_fn: "name".into(),
-                stable_fn: "replay_stable".into(),
-                serializer_file: "crates/core/src/telemetry/jsonl.rs".into(),
-                serialize_fn: "to_line".into(),
-                parse_fn: "parse_line".into(),
-                aggregator_file: "crates/core/src/telemetry/aggregate.rs".into(),
-                aggregate_fn: "observe".into(),
-            }),
+            e1: vec![
+                E1Config {
+                    enum_file: "crates/core/src/telemetry/mod.rs".into(),
+                    enum_name: "EventKind".into(),
+                    name_fn: "name".into(),
+                    stable_fn: "replay_stable".into(),
+                    serializer_file: "crates/core/src/telemetry/jsonl.rs".into(),
+                    serialize_fn: "to_line".into(),
+                    parse_fn: "parse_line".into(),
+                    aggregator_file: "crates/core/src/telemetry/aggregate.rs".into(),
+                    aggregate_fn: "observe".into(),
+                },
+                // The serving wire schema: `ServeQuery` with its wire-name
+                // map, cacheability classifier, JSONL-stable codec and the
+                // store's exhaustive answer dispatch.
+                E1Config {
+                    enum_file: "crates/serve/src/api.rs".into(),
+                    enum_name: "ServeQuery".into(),
+                    name_fn: "wire_name".into(),
+                    stable_fn: "cacheable".into(),
+                    serializer_file: "crates/serve/src/api.rs".into(),
+                    serialize_fn: "query_to_line".into(),
+                    parse_fn: "parse_query_line".into(),
+                    aggregator_file: "crates/serve/src/store.rs".into(),
+                    aggregate_fn: "answer".into(),
+                },
+            ],
             w1_member_dirs: Some(vec!["crates".into(), "vendor".into()]),
         }
     }
@@ -206,7 +225,7 @@ impl Config {
             d1_scopes: Vec::new(),
             d2_scopes: Vec::new(),
             d3_scopes: Vec::new(),
-            e1: None,
+            e1: Vec::new(),
             w1_member_dirs: None,
         }
     }
@@ -219,7 +238,7 @@ impl Config {
             .chain(&self.d3_scopes)
             .cloned()
             .collect();
-        if let Some(e1) = &self.e1 {
+        for e1 in &self.e1 {
             scopes.push(e1.enum_file.clone());
             scopes.push(e1.serializer_file.clone());
             scopes.push(e1.aggregator_file.clone());
@@ -246,7 +265,7 @@ pub fn analyze(config: &Config) -> Result<Vec<Finding>, String> {
             rules::panics::check(file, &mut findings);
         }
     }
-    if let Some(e1) = &config.e1 {
+    for e1 in &config.e1 {
         rules::exhaustive::check(e1, &files, &mut findings);
     }
     if let Some(dirs) = &config.w1_member_dirs {

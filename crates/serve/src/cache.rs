@@ -1,0 +1,153 @@
+//! The per-router LRU answer cache with deterministic eviction.
+//!
+//! Recency is a logical tick counter, not wall time, and both indices
+//! are `BTreeMap`s: for a given sequence of `get`/`insert` calls the
+//! eviction order — and therefore the `CacheEvicted` event log — is a
+//! pure function of the call sequence, byte-identical across runs and
+//! thread counts.
+
+use crate::api::ServeAnswer;
+use std::collections::BTreeMap;
+
+/// A least-recently-used answer cache over string keys.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    /// Logical clock: bumped on every touch; the smallest tick in
+    /// `by_tick` is the eviction victim.
+    tick: u64,
+    by_key: BTreeMap<String, (u64, ServeAnswer)>,
+    by_tick: BTreeMap<u64, String>,
+    /// Keys evicted since the last [`LruCache::drain_evicted`], in
+    /// eviction order.
+    evicted: Vec<String>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` answers (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            by_key: BTreeMap::new(),
+            by_tick: BTreeMap::new(),
+            evicted: Vec::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<ServeAnswer> {
+        let (tick, answer) = self.by_key.get_mut(key)?;
+        let old = *tick;
+        self.tick += 1;
+        *tick = self.tick;
+        let answer = answer.clone();
+        let moved = self.by_tick.remove(&old);
+        debug_assert_eq!(moved.as_deref(), Some(key));
+        self.by_tick.insert(self.tick, key.to_string());
+        Some(answer)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry if the cache is over capacity.
+    pub fn insert(&mut self, key: String, answer: ServeAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old, _)) = self.by_key.insert(key.clone(), (self.tick, answer)) {
+            self.by_tick.remove(&old);
+        }
+        self.by_tick.insert(self.tick, key);
+        while self.by_key.len() > self.capacity {
+            let (_, victim) = self
+                .by_tick
+                .pop_first()
+                .expect("over capacity implies entries");
+            self.by_key.remove(&victim);
+            self.evicted.push(victim);
+        }
+    }
+
+    /// Keys evicted since the last drain, in eviction order.
+    pub fn drain_evicted(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(n: u64) -> ServeAnswer {
+        ServeAnswer::Percentiles {
+            n,
+            p25: 1.0,
+            p50: 2.0,
+            p75: 3.0,
+            p95: 4.0,
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), answer(1));
+        cache.insert("b".into(), answer(2));
+        assert!(cache.get("a").is_some(), "refresh a");
+        cache.insert("c".into(), answer(3));
+        assert_eq!(cache.drain_evicted(), vec!["b".to_string()]);
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), answer(1));
+        cache.insert("b".into(), answer(2));
+        cache.insert("a".into(), answer(10));
+        cache.insert("c".into(), answer(3));
+        assert_eq!(cache.drain_evicted(), vec!["b".to_string()]);
+        assert_eq!(cache.get("a"), Some(answer(10)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert("a".into(), answer(1));
+        assert!(cache.is_empty());
+        assert!(cache.drain_evicted().is_empty());
+    }
+
+    #[test]
+    fn eviction_log_is_a_function_of_the_call_sequence() {
+        let run = || {
+            let mut cache = LruCache::new(3);
+            let mut log = Vec::new();
+            for i in 0..32u64 {
+                let key = format!("k{}", i % 7);
+                if cache.get(&key).is_none() {
+                    cache.insert(key, answer(i));
+                }
+                log.extend(cache.drain_evicted());
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

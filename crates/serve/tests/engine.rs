@@ -1,0 +1,57 @@
+//! Engine-level invariants on a real (quick-curated) store: the SLO
+//! alert story of the quick campaign and thread-count byte-identity of
+//! the recorded stream.
+
+use bbsim_census::city_by_name;
+use bbsim_dataset::artifact::CityArtifact;
+use bbsim_dataset::{curate_city, CurationOptions};
+use bbsim_serve::{run_recorded, PlanStore, ServeOptions};
+use bqt::JsonlRecorder;
+use std::sync::Arc;
+
+fn quick_store() -> Arc<PlanStore> {
+    let artifacts: Vec<CityArtifact> = ["Billings", "Fargo"]
+        .iter()
+        .map(|name| {
+            let city = city_by_name(name).expect("study city");
+            CityArtifact::from_dataset(&curate_city(city, &CurationOptions::quick(77)))
+        })
+        .collect();
+    Arc::new(PlanStore::load(&artifacts))
+}
+
+#[test]
+fn quick_campaign_fires_and_resolves_p99_and_is_thread_invariant() {
+    let store = quick_store();
+    assert_eq!(store.shards().len(), 3, "Billings x2 ISPs + Fargo x1");
+
+    let mut streams = Vec::new();
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let opts = ServeOptions::quick(4242).threads(threads);
+        let mut jsonl = JsonlRecorder::stable(Vec::new());
+        let outcome = run_recorded(&store, &opts, &mut jsonl);
+        streams.push(jsonl.into_inner());
+        outcomes.push(outcome);
+    }
+    assert_eq!(streams[0], streams[1], "threads 1 vs 2");
+    assert_eq!(streams[0], streams[2], "threads 1 vs 4");
+
+    let outcome = &outcomes[0];
+    assert!(outcome.lookups() > 50_000, "lookups: {}", outcome.lookups());
+    assert!(outcome.summary.serve_sheds > 0, "scan must shed");
+    assert!(
+        outcome.summary.serve_cache_hits > 0,
+        "steady phase must hit the cache"
+    );
+    let p99 = outcome
+        .health
+        .alerts
+        .iter()
+        .find(|a| a.rule == "p99_latency")
+        .expect("scan must breach the latency SLO");
+    assert!(
+        p99.resolved_at.is_some(),
+        "recovery phase must resolve the alert: {p99:?}"
+    );
+}

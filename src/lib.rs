@@ -7,6 +7,7 @@ pub use bbsim_dataset as dataset;
 pub use bbsim_geo as geo;
 pub use bbsim_isp as isp;
 pub use bbsim_net as net;
+pub use bbsim_serve as serve;
 pub use bbsim_stats as stats;
 pub use bqt;
 
@@ -14,12 +15,15 @@ pub use bqt;
 ///
 /// Re-exports [`bqt::prelude`] (campaign building, configuration, journal,
 /// telemetry and the virtual network) plus the world-building names the
-/// examples pair it with: the simulated BAT servers, study-city lookup and
-/// the dataset curation entry points.
+/// examples pair it with: the simulated BAT servers, study-city lookup,
+/// the dataset curation entry points and the plan-serving query layer.
 pub mod prelude {
     pub use bbsim_bat::{templates, BatServer};
     pub use bbsim_census::{city_by_name, ALL_CITIES};
-    pub use bbsim_dataset::{aggregate_block_groups, curate_city, CurationOptions};
+    pub use bbsim_dataset::{aggregate_block_groups, curate_city, CityArtifact, CurationOptions};
     pub use bbsim_isp::{CityWorld, Isp};
+    pub use bbsim_serve::{
+        PlanStore, Router, ServeAnswer, ServeOptions, ServeQuery, ServeRequest, ServeResponse,
+    };
     pub use bqt::prelude::*;
 }

@@ -183,7 +183,7 @@ fn drift_fixture_clean_shape_passes() {
 /// fifth variant added without extending every surface would not.
 #[test]
 fn drift_schema_canary_is_exhaustive() {
-    let findings = run(|c| c.e1 = Some(e1_config("drift/schema.rs")));
+    let findings = run(|c| c.e1 = vec![e1_config("drift/schema.rs")]);
     assert!(findings.is_empty(), "{findings:?}");
 }
 
@@ -231,13 +231,13 @@ fn e1_config(file: &str) -> divide_lint::E1Config {
 
 #[test]
 fn e1_accepts_a_fully_covered_schema() {
-    let findings = run(|c| c.e1 = Some(e1_config("e1_ok/schema.rs")));
+    let findings = run(|c| c.e1 = vec![e1_config("e1_ok/schema.rs")]);
     assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]
 fn e1_flags_missing_variants_wildcards_and_parser_gaps() {
-    let findings = run(|c| c.e1 = Some(e1_config("e1_bad/schema.rs")));
+    let findings = run(|c| c.e1 = vec![e1_config("e1_bad/schema.rs")]);
     assert_eq!(findings.len(), 4, "{findings:?}");
     assert!(findings.iter().all(|f| f.rule == RuleId::E1));
     for needle in [
