@@ -1,7 +1,8 @@
-//! The PR-6 perf trajectory under Criterion: the same five benches
+//! The PR-6 perf trajectory under Criterion: the same benches
 //! `repro bench` measures — journal append, JSONL encode, BAT page step,
-//! aggregator observe, and sharded campaign throughput across thread
-//! counts — for interactive `cargo bench -p bench --bench perf` runs.
+//! aggregator observe, trace assembly, critical-path extraction, and
+//! sharded campaign throughput across thread counts — for interactive
+//! `cargo bench -p bench --bench perf` runs.
 //! The committed numbers come from `repro bench` (see `bench::perf`),
 //! which emits `BENCH_pr6.json`.
 
@@ -12,8 +13,9 @@ use bbsim_net::{
     Endpoint, IpPool, Request, RotationPolicy, SimDuration, SimIp, SimTime, Transport,
 };
 use bqt::{
-    AttemptEntry, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, MetricsAggregator,
-    Orchestrator, QueryJob, Recorder, RingRecorder, ShardEnv, ShardPlan, ShardSpec,
+    critical_path, AttemptEntry, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder,
+    MetricsAggregator, Orchestrator, QueryJob, Recorder, RingRecorder, ShardEnv, ShardPlan,
+    ShardSpec, TraceAssembler,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -128,6 +130,37 @@ fn bench_perf(c: &mut Criterion) {
         b.iter(|| {
             agg.record(&events[i % events.len()]);
             i += 1;
+        })
+    });
+
+    let mut asm = TraceAssembler::new(3);
+    let mut i = 0usize;
+    c.bench_function("perf/trace_assemble", |b| {
+        b.iter(|| {
+            asm.observe(&events[i % events.len()]);
+            i += 1;
+        })
+    });
+
+    let exemplars = {
+        let mut asm = TraceAssembler::new(8);
+        for e in &events {
+            asm.observe(e);
+        }
+        asm.finish()
+    };
+    let traces: Vec<_> = exemplars
+        .global
+        .iter()
+        .chain(exemplars.per_endpoint.values())
+        .collect();
+    assert!(!traces.is_empty(), "campaign must leave exemplars");
+    let mut i = 0usize;
+    c.bench_function("perf/critical_path", |b| {
+        b.iter(|| {
+            let t = traces[i % traces.len()];
+            i += 1;
+            black_box(critical_path(&t.root))
         })
     });
 

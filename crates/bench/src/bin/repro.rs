@@ -13,6 +13,9 @@
 //!   markup-baseline upload-consistency robustness policy release
 //!   serve      plan-serving campaign: thread sweep + SLO dashboard
 //!              ([--quick], [--artifacts DIR] for CI byte-comparison)
+//!   tail       causal traces + tail-latency attribution: serve p99
+//!              breach and drift-rebootstrap exemplars, trace.json
+//!              export ([--quick], [--artifacts DIR])
 //!   lint       run divide-lint against the committed baseline
 //!   bench      run the perf trajectory, write BENCH_pr6.json ([--quick])
 //!   determinism  print per-artifact content hashes at --threads N

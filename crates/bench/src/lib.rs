@@ -11,6 +11,9 @@
 //!   argument parsing plus one lookup;
 //! * [`serve_exp`] — the `repro serve` plan-serving campaign: thread
 //!   sweep, byte-identity digests and the SLO dashboard;
+//! * [`tail_exp`] — the `repro tail` tail-latency attribution: slowest-
+//!   trace exemplars, critical-path decomposition and the deterministic
+//!   `trace.json` export;
 //! * `benches/` holds the Criterion micro-benchmarks for the
 //!   performance-sensitive components (matcher, Moran's I, KS, framing,
 //!   query path, pipeline).
@@ -21,6 +24,7 @@ pub mod perf;
 pub mod registry;
 pub mod serve_exp;
 pub mod study;
+pub mod tail_exp;
 
 pub use registry::{Experiment, ExperimentAction, ExperimentCtx, FnExperiment};
 pub use study::{run_study, Scale, StudyDataset};

@@ -1,8 +1,9 @@
 //! The committed perf trajectory: `repro bench` re-measures the hot paths
 //! every PR touches — journal append, JSONL encode, the BAT page step,
-//! aggregator observe — plus end-to-end sharded campaign throughput at
-//! several thread counts, and emits one `BENCH_prN.json` record so the
-//! numbers accumulate PR over PR.
+//! aggregator observe, trace assembly and critical-path extraction —
+//! plus end-to-end sharded campaign throughput at several thread
+//! counts, and emits one `BENCH_prN.json` record so the numbers
+//! accumulate PR over PR.
 //!
 //! Wall-clock timing is deliberate and confined to this crate (the bench
 //! harness sits outside divide-lint's replay-critical scopes); everything
@@ -19,20 +20,23 @@ use bbsim_net::{fnv1a, Endpoint, Request, SimDuration, SimIp, SimTime, Transport
 use bbsim_serve::{LoadPhase, Router, ServeOptions, ServeQuery};
 use bqt::telemetry::Event;
 use bqt::{
-    AttemptEntry, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder, MetricsAggregator,
-    Orchestrator, QueryJob, QueryRecord, Recorder, RingRecorder, ShardEnv, ShardPlan, ShardSpec,
+    critical_path, AttemptEntry, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder,
+    MetricsAggregator, Orchestrator, QueryJob, QueryRecord, Recorder, RingRecorder, ShardEnv,
+    ShardPlan, ShardSpec, TraceAssembler,
 };
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The bench names every `BENCH_pr6.json` must carry (CI greps for the
 /// historical five; the serve pair rides along since the serving layer
-/// landed).
-pub const BENCH_NAMES: [&str; 7] = [
+/// landed, the trace pair since the trace layer did).
+pub const BENCH_NAMES: [&str; 9] = [
     "journal_append",
     "jsonl_encode",
     "bat_page_step",
     "aggregator_observe",
+    "trace_assemble",
+    "critical_path",
     "campaign_throughput",
     "serve_lookup",
     "serve_throughput",
@@ -198,7 +202,43 @@ pub fn bench(quick: bool) -> String {
     });
     out.push(micro_json("aggregator_observe", ns, iters, samples));
 
-    // 5. Campaign throughput: the same sharded campaign at 1/2/4 threads.
+    // 5. Trace assemble: one event folded into the causal span trees
+    // (watermark reorder, open-job bookkeeping, exemplar reservoir).
+    let ns = time_ns_per_op(
+        samples,
+        iters,
+        || TraceAssembler::new(3),
+        |asm, i| asm.observe(&c.events[(i as usize) % c.events.len()]),
+    );
+    out.push(micro_json("trace_assemble", ns, iters, samples));
+
+    // 6. Critical path: one walk over a real exemplar's span tree. The
+    // trees come from assembling the whole corpus stream once.
+    let exemplars = {
+        let mut asm = TraceAssembler::new(8);
+        for e in &c.events {
+            asm.observe(e);
+        }
+        asm.finish()
+    };
+    let traces: Vec<_> = exemplars
+        .global
+        .iter()
+        .chain(exemplars.per_endpoint.values())
+        .collect();
+    assert!(!traces.is_empty(), "corpus campaign must leave exemplars");
+    let ns = time_ns_per_op(
+        samples,
+        iters,
+        || 0u64,
+        |acc, i| {
+            let t = traces[(i as usize) % traces.len()];
+            *acc += critical_path(&t.root).iter().map(|(_, ms)| ms).sum::<u64>();
+        },
+    );
+    out.push(micro_json("critical_path", ns, iters, samples));
+
+    // 7. Campaign throughput: the same sharded campaign at 1/2/4 threads.
     let n_jobs = if quick { 240 } else { 960 };
     let jobs: Vec<QueryJob> = c
         .world
@@ -240,7 +280,7 @@ pub fn bench(quick: bool) -> String {
         ));
     }
 
-    // 6. Serve lookup: one query through the router (store probe +
+    // 8. Serve lookup: one query through the router (store probe +
     // answer-cache insert/hit), over the same zipfian stream the serve
     // campaign replays.
     let store = Arc::new(crate::serve_exp::build_store(SEED));
@@ -261,7 +301,7 @@ pub fn bench(quick: bool) -> String {
     );
     out.push(micro_json("serve_lookup", ns, iters, samples));
 
-    // 7. Serve throughput: the sharded serve campaign end to end
+    // 9. Serve throughput: the sharded serve campaign end to end
     // (schedule generation, HTTP framing, cache, telemetry merge) at
     // the same thread sweep as the curation campaign.
     let serve_opts = {

@@ -166,6 +166,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
             report(ext::release(c.study(), "release", c.seed))
         }),
         solo_exp("serve", crate::serve_exp::serve),
+        solo_exp("tail", crate::tail_exp::tail),
         solo_exp("lint", run_lint),
         solo_exp("bench", run_bench),
         solo_exp("determinism", |c| {
@@ -268,6 +269,7 @@ mod tests {
             "table1",
             "fig9b",
             "serve",
+            "tail",
             "lint",
             "bench",
             "determinism",
@@ -280,7 +282,7 @@ mod tests {
     fn study_flags_match_the_signatures() {
         // Self-contained experiments must not claim the study; the
         // driver would waste minutes curating for nothing.
-        for solo in ["table1", "fig3", "scaling", "serve", "longitudinal"] {
+        for solo in ["table1", "fig3", "scaling", "serve", "tail", "longitudinal"] {
             assert!(!find(solo).expect(solo).needs_study(), "{solo}");
         }
         for study in ["all", "table2", "fig4", "policy", "release"] {

@@ -10,16 +10,16 @@
 //! resolve.
 //!
 //! With `--artifacts DIR` the sweep is replaced by a single run at
-//! `--threads N` that writes `events.jsonl`, `health.prom` and
-//! `profile.folded` to `DIR`; CI invokes that twice at different
-//! thread counts and byte-compares the directories.
+//! `--threads N` that writes `events.jsonl`, `health.prom`,
+//! `profile.folded` and `trace.json` to `DIR`; CI invokes that twice at
+//! different thread counts and byte-compares the directories.
 
 use crate::registry::{ExperimentAction, ExperimentCtx};
 use bbsim_census::city_by_name;
 use bbsim_dataset::{curate_city, CityArtifact, CurationOptions};
 use bbsim_serve::{run_recorded, PlanStore, ServeOptions, ServeOutcome};
 use bqt::monitor::{render_folded, render_prometheus, CampaignSection};
-use bqt::JsonlRecorder;
+use bqt::{render_trace_json, JsonlRecorder};
 use std::io;
 use std::sync::Arc;
 
@@ -85,6 +85,7 @@ struct RunDigest {
     events_len: u64,
     prom: String,
     folded: String,
+    trace: String,
 }
 
 fn digest_run(store: &Arc<PlanStore>, opts: ServeOptions) -> RunDigest {
@@ -98,12 +99,14 @@ fn digest_run(store: &Arc<PlanStore>, opts: ServeOptions) -> RunDigest {
     };
     let prom = render_prometheus(std::slice::from_ref(&section));
     let folded = render_folded(std::slice::from_ref(&section));
+    let trace = render_trace_json(std::slice::from_ref(&section));
     RunDigest {
         outcome,
         events_hash: sink.hash,
         events_len: sink.len,
         prom,
         folded,
+        trace,
     }
 }
 
@@ -146,12 +149,13 @@ fn dashboard(d: &RunDigest, opts: &ServeOptions, quick: bool, sweep: &[usize]) -
         let ts: Vec<String> = sweep.iter().map(|t| t.to_string()).collect();
         out.push_str(&format!(
             "threads sweep [{}]: byte-identical (events.jsonl fnv64={:016x} bytes={}, \
-             health.prom fnv64={:016x}, profile.folded fnv64={:016x})\n",
+             health.prom fnv64={:016x}, profile.folded fnv64={:016x}, trace.json fnv64={:016x})\n",
             ts.join(","),
             d.events_hash,
             d.events_len,
             fnv64(&d.prom),
             fnv64(&d.folded),
+            fnv64(&d.trace),
         ));
     }
     out.push_str(&format!(
@@ -222,12 +226,18 @@ fn write_artifacts(
         render_folded(std::slice::from_ref(&section)),
     )
     .expect("write profile.folded");
+    std::fs::write(
+        dir.join("trace.json"),
+        render_trace_json(std::slice::from_ref(&section)),
+    )
+    .expect("write trace.json");
     let d = RunDigest {
         outcome,
         events_hash: 0,
         events_len: 0,
         prom: String::new(),
         folded: String::new(),
+        trace: String::new(),
     };
     let mut report = dashboard(&d, &opts, quick, &[]);
     report.push_str(&format!(
@@ -276,6 +286,11 @@ pub fn serve(ctx: &ExperimentCtx) -> ExperimentAction {
         assert_eq!(
             first.folded, run.folded,
             "profile.folded diverged between threads=1 and threads={}",
+            SWEEP[i]
+        );
+        assert_eq!(
+            first.trace, run.trace,
+            "trace.json diverged between threads=1 and threads={}",
             SWEEP[i]
         );
     }

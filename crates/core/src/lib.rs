@@ -38,6 +38,10 @@
 //! * [`telemetry`] — structured event tracing on the virtual clock: a
 //!   [`Recorder`](telemetry::Recorder) fan-out fed by the orchestrator and
 //!   driver, with ring-buffer, JSONL and aggregating recorders;
+//! * [`trace`] — causal span trees folded from the telemetry stream:
+//!   per-job/per-request trace assembly, critical-path tail attribution,
+//!   a deterministic slowest-trace exemplar reservoir and a
+//!   Chrome/Perfetto `trace.json` exporter;
 //! * [`strawman`] — the §3.2 baseline: a direct-API client that reuses one
 //!   session cookie and trips the BATs' safeguards, motivating BQT's
 //!   user-mimicry design.
@@ -56,6 +60,7 @@ pub mod shard;
 pub mod shed;
 pub mod strawman;
 pub mod telemetry;
+pub mod trace;
 
 pub use campaign::{Campaign, CampaignOutcome};
 pub use client::{BqtConfig, WaitPolicy};
@@ -83,6 +88,10 @@ pub use telemetry::{
     Event, EventKind, JsonlRecorder, MetricsAggregator, Recorder, RingRecorder, Telemetry,
     TelemetrySummary,
 };
+pub use trace::{
+    attribute, critical_path, render_trace_json, Attribution, ExemplarSet, Span, SpanKind, Trace,
+    TraceAssembler,
+};
 
 /// The ~15 names nearly every campaign-driving example imports.
 ///
@@ -103,6 +112,7 @@ pub mod prelude {
         Event, EventKind, JsonlRecorder, MetricsAggregator, Recorder, RingRecorder,
         TelemetrySummary,
     };
+    pub use crate::trace::{attribute, Attribution, ExemplarSet, Trace, TraceAssembler};
     pub use bbsim_net::{
         Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, SimIp, SimTime, Transport,
     };

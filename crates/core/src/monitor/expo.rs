@@ -202,6 +202,24 @@ pub fn render_prometheus(sections: &[CampaignSection]) -> String {
             );
         }
     }
+
+    // Slowest-trace exemplars as comment lines: one per global exemplar
+    // (rank order), with its critical-path attribution — the "why" next
+    // to the histograms' "how much". Comments, so Prometheus scrapers
+    // ignore them but `grep '# EXEMPLAR'` answers a page.
+    for s in sections {
+        for trace in &s.health.exemplars.global {
+            let a = crate::trace::attribute(&trace.root);
+            let _ = writeln!(
+                &mut out,
+                "# EXEMPLAR campaign=\"{}\" trace=\"{}\" dur_ms={} {}",
+                s.label,
+                trace.id(),
+                trace.duration_ms(),
+                a.summary()
+            );
+        }
+    }
     out
 }
 
@@ -245,6 +263,7 @@ mod tests {
             makespan_ms: 100_000,
             started_workers: 8,
             escalations: 0,
+            exemplars: Default::default(),
         }
     }
 
@@ -291,6 +310,42 @@ mod tests {
         let lb = text.find("bqt_attempts_total{campaign=\"b\"}").unwrap();
         assert!(header < la && la < lb);
         assert_eq!(text.matches("# TYPE bqt_attempts_total counter").count(), 1);
+    }
+
+    #[test]
+    fn exemplar_comment_lines_carry_the_attribution() {
+        use crate::trace::{Span, SpanKind, Trace};
+        let t = summary();
+        let mut h = health();
+        h.exemplars.global.push(Trace {
+            tag: 0x2a,
+            endpoint: "isp/city".into(),
+            root: Span {
+                kind: SpanKind::Job,
+                label: "isp/city:plans".into(),
+                start_ms: 60_000,
+                end_ms: 75_000,
+                children: vec![Span {
+                    kind: SpanKind::Attempt,
+                    label: "attempt_1:plans".into(),
+                    start_ms: 61_000,
+                    end_ms: 75_000,
+                    children: Vec::new(),
+                }],
+            },
+        });
+        let text = render_prometheus(&[CampaignSection {
+            label: "billings",
+            telemetry: &t,
+            health: &h,
+        }]);
+        assert!(
+            text.contains(
+                "# EXEMPLAR campaign=\"billings\" trace=\"isp/city:2a@60000\" \
+                 dur_ms=15000 job=1000 attempt=14000\n"
+            ),
+            "missing exemplar line in:\n{text}"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// An entry waiting for the watermark to pass its timestamp.
+#[derive(Debug)]
 struct Entry<T> {
     at_ms: u64,
     seq: u64,
@@ -70,6 +71,7 @@ pub fn advances_watermark(kind: &EventKind) -> bool {
 /// events reveal it; `pop_ready` yields entries whose stamp the watermark
 /// has passed, earliest `(at_ms, seq)` first. Advancing to `u64::MAX`
 /// drains everything — the end-of-stream flush.
+#[derive(Debug)]
 pub struct WatermarkHeap<T> {
     heap: BinaryHeap<Entry<T>>,
     watermark: u64,

@@ -45,6 +45,7 @@ pub use slo::{Alert, SloRule, SloSignal};
 pub use window::{EndpointWindow, WindowSnapshot};
 
 use crate::telemetry::{Event, EventKind};
+use crate::trace::{ExemplarSet, TraceAssembler};
 use bbsim_net::{SimDuration, SimTime};
 use slo::SloEngine;
 use std::collections::BTreeMap;
@@ -68,6 +69,10 @@ pub struct MonitorPolicy {
     /// Capture a window snapshot every so often (for dashboards); the
     /// final snapshot is always captured.
     pub checkpoint_every: Option<SimDuration>,
+    /// Global capacity of the slowest-trace exemplar reservoir (the
+    /// slowest trace per endpoint is kept regardless). Exemplar ids ride
+    /// on `AlertFired` events and `# EXEMPLAR` lines in `health.prom`.
+    pub exemplars: usize,
 }
 
 impl MonitorPolicy {
@@ -86,6 +91,7 @@ impl MonitorPolicy {
             escalate: false,
             profile_fetches: false,
             checkpoint_every: None,
+            exemplars: 3,
         }
     }
 
@@ -108,10 +114,15 @@ impl MonitorPolicy {
         self.checkpoint_every = Some(every);
         self
     }
+
+    pub fn exemplars(mut self, k: usize) -> Self {
+        self.exemplars = k;
+        self
+    }
 }
 
 /// What the monitor knows once the campaign ends.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HealthReport {
     /// Every alert that fired, in firing order (unresolved ones keep
     /// `resolved_at: None`).
@@ -128,6 +139,9 @@ pub struct HealthReport {
     pub started_workers: u32,
     /// Shed cuts the SLO engine requested (granted or not).
     pub escalations: u64,
+    /// The slowest-trace exemplars assembled from the same ordered
+    /// stream the window consumed (see [`crate::trace`]).
+    pub exemplars: ExemplarSet,
 }
 
 impl HealthReport {
@@ -159,6 +173,7 @@ pub struct CampaignMonitor {
     window: window::SlidingWindow,
     engine: SloEngine,
     profiler: profile::PhaseProfiler,
+    assembler: TraceAssembler,
     heap: WatermarkHeap<EventKind>,
     seq: u64,
     pending: Vec<Event>,
@@ -176,11 +191,13 @@ impl CampaignMonitor {
         let engine = SloEngine::new(policy.rules.clone());
         let profiler = profile::PhaseProfiler::new(policy.profile_fetches);
         let next_checkpoint_ms = policy.checkpoint_every.map(|d| d.as_millis().max(1));
+        let assembler = TraceAssembler::new(policy.exemplars);
         Self {
             policy,
             window,
             engine,
             profiler,
+            assembler,
             heap: WatermarkHeap::new(),
             seq: 0,
             pending: Vec::new(),
@@ -244,9 +261,13 @@ impl CampaignMonitor {
                 continue;
             }
             let snap = self.window.snapshot(boundary);
-            let fired =
-                self.engine
-                    .evaluate(SimTime::from_millis(boundary), &snap, &mut self.pending);
+            let exemplars = self.assembler.exemplar_csv();
+            let fired = self.engine.evaluate(
+                SimTime::from_millis(boundary),
+                &snap,
+                &exemplars,
+                &mut self.pending,
+            );
             if fired > 0 && self.policy.escalate {
                 self.escalation_pending = true;
                 self.escalations += fired as u64;
@@ -261,6 +282,7 @@ impl CampaignMonitor {
             self.window.rotate();
         }
         self.window.record(kind);
+        self.assembler.ingest(at_ms, kind);
     }
 
     /// Alert events synthesized since the last call, in order.
@@ -294,6 +316,7 @@ impl CampaignMonitor {
             makespan_ms: self.makespan_ms,
             started_workers: self.started_workers,
             escalations: self.escalations,
+            exemplars: self.assembler.finish(),
         }
     }
 }
@@ -363,7 +386,7 @@ mod tests {
         attempt_pair(&mut m, 70_000, 5_000, true);
         let fired: Vec<Event> = m.take_events();
         assert!(
-            matches!(&fired[0].kind, EventKind::AlertFired { rule } if rule == "hit_rate"),
+            matches!(&fired[0].kind, EventKind::AlertFired { rule, .. } if rule == "hit_rate"),
             "got {fired:?}"
         );
         // Pure hits until the failure buckets (0–120 s) rotate out of the
@@ -466,6 +489,55 @@ mod tests {
         let at: Vec<u64> = report.checkpoints.iter().map(|(ms, _)| *ms).collect();
         assert_eq!(at, vec![90_000, 180_000, 270_000]);
         assert!(report.checkpoints[0].1.attempts >= 1);
+    }
+
+    #[test]
+    fn exemplar_trace_ids_ride_alerts_and_land_on_the_report() {
+        let mut m = CampaignMonitor::new(policy());
+        m.observe(&e(0, EventKind::WorkerBegin { worker: 0 }));
+        for i in 0..10u64 {
+            let t = i * 5_000;
+            m.observe(&e(
+                t,
+                EventKind::JobBegin {
+                    tag: t,
+                    endpoint: "isp/city".into(),
+                },
+            ));
+            attempt_pair(&mut m, t, 4_000, false);
+            m.observe(&e(
+                t + 4_000,
+                EventKind::JobEnd {
+                    tag: t,
+                    outcome: OutcomeCode::Failed,
+                    attempts: 1,
+                    dead_lettered: false,
+                },
+            ));
+        }
+        // Crossing the first bucket boundary fires the hit-rate rule; by
+        // then the completed jobs above are in the reservoir.
+        attempt_pair(&mut m, 70_000, 5_000, true);
+        let fired = m.take_events();
+        let EventKind::AlertFired { rule, exemplars } = &fired[0].kind else {
+            panic!("expected AlertFired, got {fired:?}");
+        };
+        assert_eq!(rule, "hit_rate");
+        // All ties at 4 s — the earliest-finished three win, in order.
+        assert_eq!(
+            exemplars,
+            "isp/city:0@0,isp/city:1388@5000,isp/city:2710@10000"
+        );
+        m.observe(&e(
+            100_000,
+            EventKind::CampaignEnd {
+                makespan_ms: 100_000,
+            },
+        ));
+        let report = m.finish();
+        assert_eq!(report.exemplars.global.len(), 3);
+        assert_eq!(report.exemplars.csv(), *exemplars);
+        assert_eq!(report.exemplars.per_endpoint["isp/city"].tag, 0);
     }
 
     #[test]

@@ -190,6 +190,8 @@ pub struct Alert {
     pub resolved_at: Option<SimTime>,
     /// The signal's value at the evaluation that fired the alert.
     pub value: f64,
+    /// Comma-joined slowest-trace exemplar ids at fire time.
+    pub exemplars: String,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -219,9 +221,17 @@ impl SloEngine {
     }
 
     /// Evaluates all rules against `snap` at boundary time `at`, appending
-    /// any `AlertFired`/`AlertResolved` events to `out`. Returns how many
-    /// alerts fired at this boundary.
-    pub fn evaluate(&mut self, at: SimTime, snap: &WindowSnapshot, out: &mut Vec<Event>) -> u32 {
+    /// any `AlertFired`/`AlertResolved` events to `out`. `exemplars` is
+    /// the comma-joined slowest-trace ids current at this boundary — every
+    /// alert that fires carries it, so a page names the offending traces.
+    /// Returns how many alerts fired at this boundary.
+    pub fn evaluate(
+        &mut self,
+        at: SimTime,
+        snap: &WindowSnapshot,
+        exemplars: &str,
+        out: &mut Vec<Event>,
+    ) -> u32 {
         let mut fired = 0;
         for (rule, state) in &mut self.rules {
             let samples = match rule.endpoint.as_deref() {
@@ -244,11 +254,13 @@ impl SloEngine {
                         fired_at: at,
                         resolved_at: None,
                         value,
+                        exemplars: exemplars.to_string(),
                     });
                     out.push(Event {
                         at,
                         kind: EventKind::AlertFired {
                             rule: rule.name.clone(),
+                            exemplars: exemplars.to_string(),
                         },
                     });
                     fired += 1;
@@ -303,7 +315,7 @@ mod tests {
 
     fn eval(engine: &mut SloEngine, ms: u64, s: &WindowSnapshot) -> Vec<Event> {
         let mut out = Vec::new();
-        engine.evaluate(SimTime::from_millis(ms), s, &mut out);
+        engine.evaluate(SimTime::from_millis(ms), s, "isp:2a@0", &mut out);
         out
     }
 
@@ -317,7 +329,10 @@ mod tests {
         assert!(eval(&mut engine, 60_000, &snap(20, 10)).is_empty());
         // Second consecutive breach: fires.
         let events = eval(&mut engine, 120_000, &snap(20, 10));
-        assert!(matches!(&events[0].kind, EventKind::AlertFired { rule } if rule == "hit_rate"));
+        assert!(matches!(
+            &events[0].kind,
+            EventKind::AlertFired { rule, exemplars } if rule == "hit_rate" && exemplars == "isp:2a@0"
+        ));
         // Two clean boundaries: still open (resolve_after = 3)...
         assert!(eval(&mut engine, 180_000, &snap(20, 20)).is_empty());
         assert!(eval(&mut engine, 240_000, &snap(20, 20)).is_empty());

@@ -148,7 +148,10 @@ pub fn to_line(event: &Event) -> String {
             w.str("endpoint", endpoint);
             w.str("fault", fault.as_str());
         }
-        EventKind::AlertFired { rule } => w.str("rule", rule),
+        EventKind::AlertFired { rule, exemplars } => {
+            w.str("rule", rule);
+            w.str("exemplars", exemplars);
+        }
         EventKind::AlertResolved { rule } => w.str("rule", rule),
         EventKind::PageFetchBegin {
             tag,
@@ -366,6 +369,7 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
         },
         "alert_fired" => EventKind::AlertFired {
             rule: f.str("rule")?,
+            exemplars: f.str("exemplars")?,
         },
         "alert_resolved" => EventKind::AlertResolved {
             rule: f.str("rule")?,
@@ -718,6 +722,7 @@ mod tests {
                 60_000,
                 EventKind::AlertFired {
                     rule: "hit_rate".into(),
+                    exemplars: "centurylink/billings:2a@45000".into(),
                 },
             ),
             e(

@@ -253,7 +253,13 @@ pub enum EventKind {
     /// A monitor SLO rule crossed its threshold (with hysteresis) and an
     /// alert opened. *Ephemeral*: alerts are an observer's judgement, not
     /// part of the campaign's replayable schedule.
-    AlertFired { rule: String },
+    AlertFired {
+        rule: String,
+        /// Comma-joined slowest-trace exemplar ids current at fire time
+        /// (see [`crate::trace::ExemplarReservoir`]) — the page names the
+        /// offending traces.
+        exemplars: String,
+    },
     /// The rule's signal recovered and the alert closed. *Ephemeral.*
     AlertResolved { rule: String },
     /// A live page fetch (one transport round trip) started. *Ephemeral.*

@@ -1,0 +1,231 @@
+//! Critical-path extraction and exact-sum tail attribution.
+//!
+//! The critical path of a span tree is its time-ordered decomposition
+//! into deepest-span segments: walking the root left to right, every
+//! millisecond is charged to the child covering it (recursively) or to
+//! the span itself where no child does. For a well-formed tree (children
+//! nest and don't overlap) the charges sum *exactly* to the root's
+//! duration — the same accounting discipline as the phase profiler's
+//! frames-sum-to-makespan invariant, applied per trace.
+
+use super::{Span, SpanKind};
+
+/// Decomposes a span tree into `(kind, ms)` segments in time order.
+/// Segments *always* sum exactly to `span.duration_ms()`: children are
+/// clipped to the unclaimed window inside their parent, so malformed
+/// inputs (overlapping or escaping children) lose the contested
+/// milliseconds to whichever sibling came first rather than
+/// double-counting them.
+pub fn critical_path(span: &Span) -> Vec<(SpanKind, u64)> {
+    let mut out = Vec::new();
+    walk(span, span.start_ms, span.end_ms, &mut out);
+    out
+}
+
+/// Charges `span`'s window clipped to `[lo, hi]`, recursing left to
+/// right. Invariant: pushes segments summing exactly to the clipped
+/// window's width.
+fn walk(span: &Span, lo: u64, hi: u64, out: &mut Vec<(SpanKind, u64)>) {
+    let start = span.start_ms.clamp(lo, hi);
+    let end = span.end_ms.clamp(start, hi);
+    let mut cur = start;
+    for child in &span.children {
+        let child_start = child.start_ms.clamp(cur, end);
+        if child_start > cur {
+            out.push((span.kind, child_start - cur));
+        }
+        walk(child, child_start, end, out);
+        cur = child.end_ms.clamp(child_start, end);
+    }
+    if end > cur {
+        out.push((span.kind, end - cur));
+    }
+}
+
+/// Tail time decomposed by span kind. `total_ms()` equals the traced
+/// duration exactly; [`components`](Attribution::components) gives the
+/// fixed-order named breakdown the attribution tables print.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Attribution {
+    pub campaign_ms: u64,
+    pub job_ms: u64,
+    pub attempt_ms: u64,
+    pub page_fetch_ms: u64,
+    pub queue_wait_ms: u64,
+    pub retry_backoff_ms: u64,
+    pub breaker_wait_ms: u64,
+    pub shed_ms: u64,
+    pub cache_lookup_ms: u64,
+    pub rebootstrap_ms: u64,
+    pub serve_ms: u64,
+}
+
+impl Attribution {
+    /// Charges `ms` to `kind`'s component. Exhaustive over [`SpanKind`]
+    /// (divide-lint E1): adding a variant without deciding its bucket is
+    /// a compile error here and a lint finding everywhere else.
+    pub fn charge(&mut self, kind: SpanKind, ms: u64) {
+        match kind {
+            SpanKind::Campaign => self.campaign_ms += ms,
+            SpanKind::Job => self.job_ms += ms,
+            SpanKind::Attempt => self.attempt_ms += ms,
+            SpanKind::PageFetch => self.page_fetch_ms += ms,
+            SpanKind::QueueWait => self.queue_wait_ms += ms,
+            SpanKind::RetryBackoff => self.retry_backoff_ms += ms,
+            SpanKind::BreakerWait => self.breaker_wait_ms += ms,
+            SpanKind::Shed => self.shed_ms += ms,
+            SpanKind::CacheLookup => self.cache_lookup_ms += ms,
+            SpanKind::Rebootstrap => self.rebootstrap_ms += ms,
+            SpanKind::Serve => self.serve_ms += ms,
+        }
+    }
+
+    /// Every component with its wire name, in a fixed order.
+    pub fn components(&self) -> [(&'static str, u64); 11] {
+        [
+            ("campaign", self.campaign_ms),
+            ("job", self.job_ms),
+            ("attempt", self.attempt_ms),
+            ("page_fetch", self.page_fetch_ms),
+            ("queue_wait", self.queue_wait_ms),
+            ("retry_backoff", self.retry_backoff_ms),
+            ("breaker_wait", self.breaker_wait_ms),
+            ("shed", self.shed_ms),
+            ("cache_lookup", self.cache_lookup_ms),
+            ("rebootstrap", self.rebootstrap_ms),
+            ("serve", self.serve_ms),
+        ]
+    }
+
+    pub fn total_ms(&self) -> u64 {
+        self.components().iter().map(|(_, ms)| ms).sum()
+    }
+
+    /// The nonzero components as `name=ms` pairs, space-joined — the
+    /// compact form `# EXEMPLAR` lines and attribution tables print.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = self
+            .components()
+            .iter()
+            .filter(|(_, ms)| *ms > 0)
+            .map(|(name, ms)| format!("{name}={ms}"))
+            .collect();
+        parts.join(" ")
+    }
+}
+
+/// Folds a trace's critical path into an [`Attribution`]. The result's
+/// `total_ms()` equals `trace.duration_ms()` exactly — asserted by tests
+/// and by `repro tail` on every exemplar it prints.
+pub fn attribute(root: &Span) -> Attribution {
+    let mut a = Attribution::default();
+    for (kind, ms) in critical_path(root) {
+        a.charge(kind, ms);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start: u64, end: u64, children: Vec<Span>) -> Span {
+        Span {
+            kind,
+            label: String::new(),
+            start_ms: start,
+            end_ms: end,
+            children,
+        }
+    }
+
+    #[test]
+    fn segments_cover_the_root_exactly_and_in_time_order() {
+        // job [0,12s]: queue [0,1s], attempt [1,5s] with fetch [2,4s],
+        // backoff [5,7s], attempt [8,12s] — 7..8s uncovered (job self).
+        let root = span(
+            SpanKind::Job,
+            0,
+            12_000,
+            vec![
+                span(SpanKind::QueueWait, 0, 1_000, Vec::new()),
+                span(
+                    SpanKind::Attempt,
+                    1_000,
+                    5_000,
+                    vec![span(SpanKind::PageFetch, 2_000, 4_000, Vec::new())],
+                ),
+                span(SpanKind::RetryBackoff, 5_000, 7_000, Vec::new()),
+                span(SpanKind::Attempt, 8_000, 12_000, Vec::new()),
+            ],
+        );
+        let path = critical_path(&root);
+        assert_eq!(
+            path,
+            vec![
+                (SpanKind::QueueWait, 1_000),
+                (SpanKind::Attempt, 1_000),
+                (SpanKind::PageFetch, 2_000),
+                (SpanKind::Attempt, 1_000),
+                (SpanKind::RetryBackoff, 2_000),
+                (SpanKind::Job, 1_000),
+                (SpanKind::Attempt, 4_000),
+            ]
+        );
+        let total: u64 = path.iter().map(|(_, ms)| ms).sum();
+        assert_eq!(total, root.duration_ms());
+    }
+
+    #[test]
+    fn attribution_sums_exactly_to_the_duration() {
+        let root = span(
+            SpanKind::Serve,
+            100,
+            400,
+            vec![
+                span(SpanKind::QueueWait, 100, 220, Vec::new()),
+                span(SpanKind::CacheLookup, 220, 400, Vec::new()),
+            ],
+        );
+        let a = attribute(&root);
+        assert_eq!(a.queue_wait_ms, 120);
+        assert_eq!(a.cache_lookup_ms, 180);
+        assert_eq!(a.serve_ms, 0);
+        assert_eq!(a.total_ms(), root.duration_ms());
+        assert_eq!(a.summary(), "queue_wait=120 cache_lookup=180");
+    }
+
+    #[test]
+    fn malformed_children_are_clipped_never_double_counted() {
+        // Overlapping children and a child escaping the parent's end:
+        // the contested milliseconds go to the earlier sibling and the
+        // sum still equals the root's duration exactly.
+        let root = span(
+            SpanKind::Job,
+            0,
+            100,
+            vec![
+                span(SpanKind::Attempt, 0, 60, Vec::new()),
+                span(SpanKind::QueueWait, 40, 80, Vec::new()),
+                span(SpanKind::Attempt, 90, 130, Vec::new()),
+            ],
+        );
+        let path = critical_path(&root);
+        assert_eq!(
+            path,
+            vec![
+                (SpanKind::Attempt, 60),
+                (SpanKind::QueueWait, 20),
+                (SpanKind::Job, 10),
+                (SpanKind::Attempt, 10),
+            ]
+        );
+        assert_eq!(attribute(&root).total_ms(), root.duration_ms());
+    }
+
+    #[test]
+    fn an_empty_leaf_charges_everything_to_itself() {
+        let root = span(SpanKind::Serve, 5, 25, Vec::new());
+        assert_eq!(critical_path(&root), vec![(SpanKind::Serve, 20)]);
+    }
+}

@@ -7,9 +7,9 @@ use bbsim_census::{city_seed, CityProfile};
 use bbsim_isp::{CityWorld, Isp};
 use bbsim_net::{Endpoint, FaultPlan, IpPool, RotationPolicy, SimDuration, Transport};
 use bqt::{
-    render_folded, render_prometheus, BqtConfig, Campaign, Journal, JournalError, JsonlRecorder,
-    Metrics, MonitorPolicy, Orchestrator, QueryJob, QueryOutcome, ResumeStats, RetryPolicy,
-    ShardEnv, ShardPlan, ShardSpec, ShedPolicy,
+    render_folded, render_prometheus, render_trace_json, BqtConfig, Campaign, Journal,
+    JournalError, JsonlRecorder, Metrics, MonitorPolicy, Orchestrator, QueryJob, QueryOutcome,
+    ResumeStats, RetryPolicy, ShardEnv, ShardPlan, ShardSpec, ShedPolicy,
 };
 use std::collections::HashMap;
 use std::fs::File;
@@ -415,6 +415,8 @@ fn curate_city_sharded(
         .map_err(|e| JournalError::Io(e.to_string()))?;
     std::fs::write(dir.join("profile.folded"), render_folded(&sections))
         .map_err(|e| JournalError::Io(e.to_string()))?;
+    std::fs::write(dir.join("trace.json"), render_trace_json(&sections))
+        .map_err(|e| JournalError::Io(e.to_string()))?;
     drop(sections);
 
     let resume = outcome.resume();
@@ -652,6 +654,12 @@ mod tests {
         );
         let folded1 = std::fs::read_to_string(dir.join("profile.folded")).unwrap();
         assert!(!folded1.is_empty(), "folded profile present");
+        let trace1 = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(
+            trace1.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+            "Perfetto export present"
+        );
+        assert!(trace1.contains("\"ph\":\"X\""), "complete events emitted");
 
         // Second run over the same journals: everything replays.
         let (second, r2) = curate_city_journaled(city, &opts, None, &dir).unwrap();
@@ -665,6 +673,8 @@ mod tests {
         assert_eq!(prom1, prom2, "resume rewrites the identical exposition");
         let folded2 = std::fs::read_to_string(dir.join("profile.folded")).unwrap();
         assert_eq!(folded1, folded2, "resume rewrites the identical profile");
+        let trace2 = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert_eq!(trace1, trace2, "resume rewrites the identical trace export");
 
         // A different campaign must refuse the same journals.
         let mut other = opts;

@@ -171,12 +171,13 @@ impl Config {
             ],
             // Files that emit serialized or ordered artifacts: the WAL,
             // the JSONL event log, the Prometheus exposition, the folded
-            // profile, and the dataset CSVs.
+            // profile, the Chrome trace export, and the dataset CSVs.
             d2_scopes: vec![
                 "crates/core/src/journal.rs".into(),
                 "crates/core/src/telemetry/".into(),
                 "crates/core/src/monitor/".into(),
                 "crates/core/src/shard.rs".into(),
+                "crates/core/src/trace/".into(),
                 "crates/dataset/src/".into(),
                 "crates/serve/src/".into(),
             ],
@@ -211,6 +212,20 @@ impl Config {
                     parse_fn: "parse_query_line".into(),
                     aggregator_file: "crates/serve/src/store.rs".into(),
                     aggregate_fn: "answer".into(),
+                },
+                // The span-tree schema: `SpanKind` with its wire-name map,
+                // attribution-class bucketing, Chrome trace-event emitter
+                // and the critical-path attribution fold.
+                E1Config {
+                    enum_file: "crates/core/src/trace/mod.rs".into(),
+                    enum_name: "SpanKind".into(),
+                    name_fn: "wire_name".into(),
+                    stable_fn: "bucket".into(),
+                    serializer_file: "crates/core/src/trace/perfetto.rs".into(),
+                    serialize_fn: "span_json".into(),
+                    parse_fn: "parse_span_kind".into(),
+                    aggregator_file: "crates/core/src/trace/attribution.rs".into(),
+                    aggregate_fn: "charge".into(),
                 },
             ],
             w1_member_dirs: Some(vec!["crates".into(), "vendor".into()]),

@@ -213,6 +213,76 @@ fn real_drift_modules_are_clean_under_all_rules() {
     );
 }
 
+// ---- trace span-tree schema (E1 on SpanKind) ------------------------
+
+/// The real `SpanKind` E1 surface names, pointed at a fixture file.
+fn trace_e1_config(file: &str) -> divide_lint::E1Config {
+    divide_lint::E1Config {
+        enum_file: file.into(),
+        enum_name: "SpanKind".into(),
+        name_fn: "wire_name".into(),
+        stable_fn: "bucket".into(),
+        serializer_file: file.into(),
+        serialize_fn: "span_json".into(),
+        parse_fn: "parse_span_kind".into(),
+        aggregator_file: file.into(),
+        aggregate_fn: "charge".into(),
+    }
+}
+
+/// The E1 canary for the span-tree schema: the four-variant mirror of
+/// `SpanKind` covers every surface, so it passes — and a fifth kind
+/// added without extending every surface would not.
+#[test]
+fn trace_schema_canary_is_exhaustive() {
+    let findings = run(|c| c.e1 = vec![trace_e1_config("trace/schema.rs")]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The known-bad span-tree schema: a wildcard in the bucketing, a
+/// variant the attribution fold skips, and a wire name the parser
+/// cannot read back — four distinct findings.
+#[test]
+fn trace_schema_bad_flags_wildcard_fold_gap_and_parser_gap() {
+    let findings = run(|c| c.e1 = vec![trace_e1_config("trace/schema_bad.rs")]);
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RuleId::E1));
+    for needle in [
+        "replay-stable filter `fn bucket` does not cover `SpanKind::Rebootstrap`",
+        "wildcard `_ =>` arm in replay-stable filter `fn bucket`",
+        "metrics aggregator `fn charge` does not cover `SpanKind::QueueWait`",
+        "does not handle wire name \"queue_wait\"",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(needle)),
+            "missing E1 finding for {needle:?}: {findings:?}"
+        );
+    }
+}
+
+/// The dogfood gate for the tentpole module: the real `bqt::trace`
+/// passes D1 + D2 + D3 with zero findings — not even baselined ones.
+/// (Its E1 surfaces are enforced by the workspace self-run below.)
+#[test]
+fn real_trace_module_is_clean_under_all_rules() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut config = Config::bare(root);
+    let scopes = vec!["crates/core/src/trace/".to_string()];
+    config.d1_scopes.clone_from(&scopes);
+    config.d2_scopes.clone_from(&scopes);
+    config.d3_scopes = scopes;
+    let findings = analyze(&config).expect("trace module analysis");
+    assert!(
+        findings.is_empty(),
+        "bqt::trace must be lint-clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 // ---- E1: telemetry exhaustiveness -----------------------------------
 
 fn e1_config(file: &str) -> divide_lint::E1Config {
