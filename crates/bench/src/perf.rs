@@ -29,8 +29,9 @@ use std::time::Instant;
 
 /// The bench names every `BENCH_pr6.json` must carry (CI greps for the
 /// historical five; the serve pair rides along since the serving layer
-/// landed, the trace pair since the trace layer did).
-pub const BENCH_NAMES: [&str; 9] = [
+/// landed, the trace pair since the trace layer did, and the lint pass
+/// since divide-lint grew its call graph).
+pub const BENCH_NAMES: [&str; 10] = [
     "journal_append",
     "jsonl_encode",
     "bat_page_step",
@@ -40,6 +41,7 @@ pub const BENCH_NAMES: [&str; 9] = [
     "campaign_throughput",
     "serve_lookup",
     "serve_throughput",
+    "lint_full_workspace",
 ];
 
 const SEED: u64 = 6;
@@ -137,7 +139,7 @@ fn micro_json(name: &str, ns_per_op: f64, iters: u64, samples: usize) -> String 
     )
 }
 
-/// Runs the five-bench suite and renders `BENCH_pr6.json`.
+/// Runs the bench suite and renders `BENCH_pr6.json`.
 pub fn bench(quick: bool) -> String {
     let samples = if quick { 3 } else { 7 };
     let iters: u64 = if quick { 2_000 } else { 20_000 };
@@ -338,6 +340,24 @@ pub fn bench(quick: bool) -> String {
              \"lookups_per_sec\": {lps:.1} }}"
         ));
     }
+
+    // 10. Full-workspace lint: one complete interprocedural pass — file
+    // collection, lexing, item parse, symbol table, call graph, and all
+    // eight rules over every crate. Tracks the analyzer's wall-clock
+    // budget (the roadmap caps it at 5s) as the workspace grows.
+    let lint_samples = if quick { 2 } else { 3 };
+    let root = divide_lint::discover_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench crate lives inside the workspace");
+    let ns = time_ns_per_op(
+        lint_samples,
+        1,
+        || divide_lint::Config::workspace(root.clone()),
+        |config, _| {
+            let findings = divide_lint::analyze(config).expect("workspace lint runs");
+            assert!(findings.len() < 10_000, "lint finding count sane");
+        },
+    );
+    out.push(micro_json("lint_full_workspace", ns, 1, lint_samples));
 
     format!(
         "{{\n  \"pr\": 6,\n  \"mode\": \"{}\",\n  \"benches\": [\n{}\n  ]\n}}\n",

@@ -364,6 +364,7 @@ pub(crate) fn execute(
         // one means a worker panicked mid-shard, which `scope` re-raises
         // before we get here.
         let Some(result) = inner else {
+            // lint:allow(T2): scope() re-raises worker panics before this line can run
             unreachable!("scoped worker left a shard slot empty without panicking")
         };
         runs.push(result?);

@@ -218,6 +218,7 @@ pub fn curate_city_with_faults(
     plan: Option<FaultPlan>,
 ) -> CityDataset {
     let Ok((dataset, _)) = curate_city_inner(city, opts, plan, None) else {
+        // lint:allow(T2): no journal is configured, so journal errors are unconstructible
         unreachable!("journal-less curation cannot hit journal errors")
     };
     dataset
@@ -291,6 +292,7 @@ fn curate_city_inner(
             .config(config)
             .run(&mut transport, &jobs, &mut pool)
         else {
+            // lint:allow(T2): no journal is configured, so journal errors are unconstructible
             unreachable!("journal-less runs cannot hit journal errors")
         };
         let report = outcome.report();
@@ -424,6 +426,7 @@ fn curate_city_sharded(
     let mut per_isp_metrics = Vec::new();
     for (run, (&isp, tag_to_addr)) in outcome.shards.into_iter().zip(isps.iter().zip(&tag_maps)) {
         let Some(report) = run.report else {
+            // lint:allow(T2): pipeline campaigns never set a crash point
             unreachable!("pipeline campaigns never set a crash point")
         };
         land_records(&mut records, city, world, isp, &report.records, tag_to_addr);

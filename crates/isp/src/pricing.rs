@@ -237,7 +237,9 @@ impl CablePricing {
             // The best offer also appears in its subsidized form.
             let best = *out
                 .iter()
+                // lint:allow(T2): carriage values are finite and the ladder was just built non-empty
                 .max_by(|a, b| a.carriage_value().partial_cmp(&b.carriage_value()).unwrap())
+                // lint:allow(T2): the ladder was just built non-empty above
                 .expect("ladder is non-empty");
             out.push(best.with_subsidy(30.0));
         }

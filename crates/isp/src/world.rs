@@ -76,6 +76,7 @@ impl CityWorld {
         let isps: Vec<Isp> = city
             .major_isps
             .iter()
+            // lint:allow(T2): major_isps holds Table 2 columns validated at profile build
             .map(|&n| Isp::from_column(n).expect("Table 2 column in 1..=7"))
             .collect();
 
@@ -195,6 +196,7 @@ impl CityWorld {
             TechAtBlockGroup::NotServed => Vec::new(),
             TechAtBlockGroup::Cable => self
                 .cable_pricing(isp)
+                // lint:allow(T2): Cable tech at a block group implies a cable pricing table
                 .expect("cable ISP has pricing")
                 .plans_in(bg),
             TechAtBlockGroup::Fiber => {

@@ -1,0 +1,341 @@
+//! The over-approximate workspace call graph.
+//!
+//! Edges are resolved from call-site shapes with a name+receiver
+//! heuristic — no type checking, so the graph *over*-approximates real
+//! reachability (DESIGN.md §15 discusses the trade-off):
+//!
+//! * `Type::name(..)` → fns named `name` inside `impl Type` blocks; if
+//!   none exist (a std type, or `module::helper(..)`), free fns named
+//!   `name` in files plausibly belonging to module `module`;
+//! * `self.name(..)` → methods of the caller's own impl type first,
+//!   falling back to every method named `name` (trait dispatch);
+//! * `var.name(..)` → a light local-type scan (`var: Type`,
+//!   `var = Type::..`) narrows the target; otherwise every method named
+//!   `name` matches;
+//! * `name(..)` → every free fn named `name`;
+//! * macros get no edges (they are taint *sources*, not calls).
+//!
+//! Over-approximation errs on the side of flagging: a spurious edge can
+//! only produce a finding a human then suppresses with a reasoned
+//! `lint:allow`; a missing edge would silently void a replay guarantee.
+//! Two deliberate exceptions keep the noise bounded: test fns and
+//! harness files (bench/lint drivers) receive no incoming edges — the
+//! measured system never calls back into its drivers.
+
+use crate::lexer::{TokKind, Token};
+use crate::parse::{Callee, Receiver};
+use crate::scan::{self, SourceFile};
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Forward adjacency: `callees[f]` is sorted and deduplicated.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub callees: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// `files` is the same aligned slice the table was built from — the
+    /// resolver reaches back into it for local-type scans.
+    pub fn build(table: &SymbolTable, files: &[SourceFile]) -> Self {
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); table.fns.len()];
+        for (caller, info) in table.fns.iter().enumerate() {
+            if info.is_test {
+                continue;
+            }
+            let mut targets = BTreeSet::new();
+            for call in &info.calls {
+                resolve(table, files, caller, &call.callee, &mut targets);
+            }
+            callees[caller] = targets
+                .into_iter()
+                .filter(|&t| t != caller && !table.fns[t].is_harness && !table.fns[t].is_test)
+                .collect();
+        }
+        Self { callees }
+    }
+
+    /// BFS distance from `from` to every fn (`None` = unreachable).
+    /// Neighbor order is the sorted adjacency, so ties break toward the
+    /// lowest fn id — deterministically.
+    pub fn distances(&self, from: usize) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.callees.len()];
+        if from >= dist.len() {
+            return dist;
+        }
+        dist[from] = Some(0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(at) = queue.pop_front() {
+            let Some(d) = dist[at] else { continue };
+            for &next in &self.callees[at] {
+                if dist[next].is_none() {
+                    dist[next] = Some(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The lexicographically-first shortest call chain `from → .. → to`,
+    /// as fn ids (inclusive both ends). `None` if unreachable.
+    pub fn witness(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let dist = self.distances(from);
+        dist.get(to).copied().flatten()?;
+        // Walk backward from `to`: at each step pick the lowest-id
+        // predecessor one step closer to `from`.
+        let mut chain = vec![to];
+        let mut at = to;
+        while at != from {
+            let d = dist[at]?;
+            let mut pred = None;
+            for (p, targets) in self.callees.iter().enumerate() {
+                if dist[p] == Some(d.saturating_sub(1)) && targets.binary_search(&at).is_ok() {
+                    pred = Some(p);
+                    break;
+                }
+            }
+            at = pred?;
+            chain.push(at);
+        }
+        chain.reverse();
+        Some(chain)
+    }
+}
+
+fn resolve(
+    table: &SymbolTable,
+    files: &[SourceFile],
+    caller: usize,
+    callee: &Callee,
+    out: &mut BTreeSet<usize>,
+) {
+    match callee {
+        Callee::Free(name) => out.extend(table.free(name)),
+        Callee::Qualified(qualifier, name) => {
+            let owned = table.owned(qualifier, name);
+            if !owned.is_empty() {
+                out.extend(owned);
+                return;
+            }
+            // `module::helper(..)` — free fns named `name` whose path
+            // mentions the module; with no path match, no edge (a std
+            // or vendored qualifier).
+            let module_file = format!("/{qualifier}.rs");
+            let module_dir = format!("/{qualifier}/");
+            out.extend(table.free(name).iter().copied().filter(|&id| {
+                let f = format!("/{}", table.fns[id].file);
+                f.ends_with(&module_file) || f.contains(&module_dir)
+            }));
+        }
+        Callee::Method(recv, name) => {
+            match recv {
+                Receiver::SelfRecv => {
+                    if let Some(owner) = &table.fns[caller].owner {
+                        let owned = table.owned(owner, name);
+                        if !owned.is_empty() {
+                            out.extend(owned);
+                            return;
+                        }
+                    }
+                }
+                Receiver::Var(var) => {
+                    let mut narrowed = false;
+                    for ty in local_types(table, files, caller, var) {
+                        let owned = table.owned(&ty, name);
+                        if !owned.is_empty() {
+                            out.extend(owned);
+                            narrowed = true;
+                        }
+                    }
+                    if narrowed {
+                        return;
+                    }
+                }
+                Receiver::Opaque => {}
+            }
+            out.extend(table.methods(name));
+        }
+        Callee::Macro(_) => {}
+    }
+}
+
+/// Scans the caller's token span for `var: Type` annotations and
+/// `var = Type::..` / `var = Type {..}` initializers; returns candidate
+/// type names (capitalized idents only).
+fn local_types(table: &SymbolTable, files: &[SourceFile], caller: usize, var: &str) -> Vec<String> {
+    let info = &table.fns[caller];
+    let mut out = Vec::new();
+    let Some(file) = files.get(info.file_idx) else {
+        return out;
+    };
+    let tokens: &[Token] = file.tokens();
+    let (start, end) = info.span;
+    let end = end.min(tokens.len().saturating_sub(1));
+    let mut i = start;
+    while i + 2 <= end {
+        if scan::is_ident(&tokens[i], var) {
+            // `var : [& mut] Type`
+            if scan::is_punct(&tokens[i + 1], ':')
+                && !tokens.get(i + 2).is_some_and(|t| scan::is_punct(t, ':'))
+            {
+                let mut j = i + 2;
+                while j <= end
+                    && (scan::is_punct(&tokens[j], '&')
+                        || scan::is_ident(&tokens[j], "mut")
+                        || matches!(&tokens[j].kind, TokKind::Lifetime(_)))
+                {
+                    j += 1;
+                }
+                if let Some(name) = tokens.get(j).and_then(scan::ident_name) {
+                    push_type(&mut out, name);
+                }
+            }
+            // `var = Type ::` / `var = Type {` / `var = Type (`
+            if scan::is_punct(&tokens[i + 1], '=') {
+                if let Some(name) = tokens.get(i + 2).and_then(scan::ident_name) {
+                    let after = tokens.get(i + 3);
+                    if after.is_some_and(|t| {
+                        scan::is_punct(t, ':') || scan::is_punct(t, '{') || scan::is_punct(t, '(')
+                    }) {
+                        push_type(&mut out, name);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn push_type(out: &mut Vec<String>, name: &str) {
+    if name.chars().next().is_some_and(char::is_uppercase) && !out.iter().any(|t| t == name) {
+        out.push(name.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::symbols::SymbolTable;
+
+    fn graph(sources: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile::new(rel.to_string(), src.as_bytes()))
+            .collect();
+        let parsed = files.iter().map(parse_file).collect::<Vec<_>>();
+        let table = SymbolTable::build(&files, &parsed, &["harness/".to_string()]);
+        let g = CallGraph::build(&table, &files);
+        (table, g)
+    }
+
+    fn id(table: &SymbolTable, name: &str) -> usize {
+        table
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn free_calls_link_across_files() {
+        let (t, g) = graph(&[
+            ("a.rs", "pub fn top() { helper(); }"),
+            ("b.rs", "pub fn helper() { leaf(); }\npub fn leaf() {}"),
+        ]);
+        let (top, helper, leaf) = (id(&t, "top"), id(&t, "helper"), id(&t, "leaf"));
+        assert_eq!(g.callees[top], vec![helper]);
+        assert_eq!(g.witness(top, leaf), Some(vec![top, helper, leaf]));
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_impl_owner() {
+        let (t, g) = graph(&[
+            ("a.rs", "pub fn top() { Journal::replay(); }"),
+            (
+                "b.rs",
+                "impl Journal { pub fn replay(&self) {} }\nimpl Other { pub fn replay(&self) {} }",
+            ),
+        ]);
+        let top = id(&t, "top");
+        assert_eq!(g.callees[top].len(), 1);
+        assert_eq!(t.fns[g.callees[top][0]].owner.as_deref(), Some("Journal"));
+    }
+
+    #[test]
+    fn module_qualified_calls_match_by_path() {
+        let (t, g) = graph(&[
+            ("a.rs", "pub fn top() { journal::recover(); }"),
+            ("journal.rs", "pub fn recover() {}"),
+            ("other.rs", "pub fn recover() {}"),
+        ]);
+        let top = id(&t, "top");
+        assert_eq!(g.callees[top].len(), 1);
+        assert_eq!(t.fns[g.callees[top][0]].file, "journal.rs");
+    }
+
+    #[test]
+    fn self_calls_resolve_within_the_owner() {
+        let (t, g) = graph(&[(
+            "a.rs",
+            "impl W { pub fn run(&self) { self.step(); } pub fn step(&self) {} }\n\
+             impl V { pub fn step(&self) {} }",
+        )]);
+        let run = id(&t, "run");
+        assert_eq!(g.callees[run].len(), 1);
+        assert_eq!(t.fns[g.callees[run][0]].owner.as_deref(), Some("W"));
+    }
+
+    #[test]
+    fn var_receivers_narrow_through_local_types() {
+        let (t, g) = graph(&[(
+            "a.rs",
+            "pub fn top(w: Worker) { w.step(); }\n\
+             impl Worker { pub fn step(&self) {} }\n\
+             impl Other { pub fn step(&self) {} }",
+        )]);
+        let top = id(&t, "top");
+        assert_eq!(g.callees[top].len(), 1);
+        assert_eq!(t.fns[g.callees[top][0]].owner.as_deref(), Some("Worker"));
+    }
+
+    #[test]
+    fn unknown_receivers_over_approximate_to_all_methods() {
+        let (t, g) = graph(&[(
+            "a.rs",
+            "pub fn top() { make().step(); }\n\
+             impl Worker { pub fn step(&self) {} }\n\
+             impl Other { pub fn step(&self) {} }",
+        )]);
+        let top = id(&t, "top");
+        assert_eq!(g.callees[top].len(), 2);
+    }
+
+    #[test]
+    fn harness_and_test_fns_get_no_incoming_edges() {
+        let (t, g) = graph(&[
+            ("a.rs", "pub fn top() { measure(); probe(); }"),
+            ("harness/perf.rs", "pub fn measure() {}"),
+            ("b.rs", "#[cfg(test)]\nmod tests { pub fn probe() {} }"),
+        ]);
+        let top = id(&t, "top");
+        assert!(g.callees[top].is_empty(), "{:?}", g.callees[top]);
+    }
+
+    #[test]
+    fn witness_is_shortest_and_deterministic() {
+        let (t, g) = graph(&[(
+            "a.rs",
+            "pub fn entry() { mid_a(); mid_b(); }\n\
+             pub fn mid_a() { sink(); }\n\
+             pub fn mid_b() { via(); }\n\
+             pub fn via() { sink(); }\n\
+             pub fn sink() {}",
+        )]);
+        let chain = g.witness(id(&t, "entry"), id(&t, "sink")).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(t.fns[chain[1]].name, "mid_a");
+    }
+}

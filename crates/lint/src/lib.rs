@@ -21,6 +21,21 @@
 //! * **W1 lint posture** — every workspace member opts into the shared
 //!   `[workspace.lints]` table.
 //!
+//! On top of the lexical rules sits an *interprocedural* layer
+//! ([`parse`] → [`symbols`] → [`callgraph`] → [`taint`]): a brace-tree
+//! item parser extracts every `fn`, `impl` and call expression, a
+//! workspace-wide symbol table and over-approximate call graph link
+//! them, and three transitive rules ride on top:
+//!
+//! * **T1 determinism taint** — no replay entry point may *reach* a
+//!   wall-clock / entropy / env read or hash-order iteration, however
+//!   many calls deep; findings carry the witness call chain;
+//! * **T2 panic reachability** — the call-graph upgrade of D3: no
+//!   supervision entry may reach an `unwrap`/`expect`/panicking macro;
+//! * **T3 lock discipline** — worker paths share state only through
+//!   per-shard slots merged on `(at, seq)`, never un-sharded locks or
+//!   synchronizing atomic orderings.
+//!
 //! Findings carry `file:line:col`, a rule id and a fix hint. Deliberate
 //! exceptions are suppressed inline with `// lint:allow(rule): reason`;
 //! pre-existing debt is grandfathered in a committed baseline file so CI
@@ -32,12 +47,19 @@
 //! workspace's offline vendor policy.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod emit;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
+pub mod scopes;
+pub mod symbols;
+pub mod taint;
 
 pub use baseline::Baseline;
 pub use scan::SourceFile;
+pub use taint::EntrySpec;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -55,6 +77,12 @@ pub enum RuleId {
     E1,
     /// Workspace lint posture: members opt into `[workspace.lints]`.
     W1,
+    /// Determinism taint: replay entries must not reach ambient inputs.
+    T1,
+    /// Panic reachability: supervision entries must not reach panics.
+    T2,
+    /// Lock discipline: worker paths use per-shard slots, not shared locks.
+    T3,
 }
 
 impl RuleId {
@@ -65,6 +93,9 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::E1 => "E1",
             RuleId::W1 => "W1",
+            RuleId::T1 => "T1",
+            RuleId::T2 => "T2",
+            RuleId::T3 => "T3",
         }
     }
 
@@ -75,8 +106,22 @@ impl RuleId {
             "D3" => RuleId::D3,
             "E1" => RuleId::E1,
             "W1" => RuleId::W1,
+            "T1" => RuleId::T1,
+            "T2" => RuleId::T2,
+            "T3" => RuleId::T3,
             _ => return None,
         })
+    }
+
+    /// Lexical rules whose inline `lint:allow` also silences this rule:
+    /// a reasoned `allow(D1)` on a wall-clock read is the same judgment
+    /// call T1 would re-litigate, so the allow carries over.
+    fn alias_of(&self) -> &'static [&'static str] {
+        match self {
+            RuleId::T1 => &["D1", "D2"],
+            RuleId::T2 => &["D3"],
+            _ => &[],
+        }
     }
 }
 
@@ -133,6 +178,21 @@ pub struct Config {
     /// W1: member manifest globs that must opt into workspace lints
     /// (None disables the rule).
     pub w1_member_dirs: Option<Vec<String>>,
+    /// T1: replay entry points (empty disables the rule). Any entry here
+    /// switches source collection to the whole tree — the call graph
+    /// must span every crate to be sound.
+    pub t1_entries: Vec<EntrySpec>,
+    /// T2: supervision entry points (empty disables the rule).
+    pub t2_entries: Vec<EntrySpec>,
+    /// T2: also seed `slice[idx]` indexing as panic sources. Off in the
+    /// workspace policy — checked-by-construction indexing dominates —
+    /// but exercised by fixtures.
+    pub t2_indexing: bool,
+    /// T3: worker-path files held to the shard-slot discipline.
+    pub t3_scopes: Vec<String>,
+    /// Harness scopes (bench, the linter itself): their fns get no
+    /// incoming call-graph edges.
+    pub harness_scopes: Vec<String>,
 }
 
 /// Where the telemetry schema and its consumers live.
@@ -157,36 +217,15 @@ pub struct E1Config {
 }
 
 impl Config {
-    /// The committed policy for this workspace (see DESIGN.md §10).
+    /// The committed policy for this workspace (see DESIGN.md §10). The
+    /// scope lists live in one place — the [`scopes`] manifest — so
+    /// registering a module means one edit, not five parallel vectors.
     pub fn workspace(root: PathBuf) -> Self {
         Self {
             root,
-            // Replay-critical crates: anything here feeds the virtual
-            // clock, the seeded draws, or the journal replay path.
-            d1_scopes: vec![
-                "crates/net/src/".into(),
-                "crates/core/src/".into(),
-                "crates/dataset/src/".into(),
-                "crates/serve/src/".into(),
-            ],
-            // Files that emit serialized or ordered artifacts: the WAL,
-            // the JSONL event log, the Prometheus exposition, the folded
-            // profile, the Chrome trace export, and the dataset CSVs.
-            d2_scopes: vec![
-                "crates/core/src/journal.rs".into(),
-                "crates/core/src/telemetry/".into(),
-                "crates/core/src/monitor/".into(),
-                "crates/core/src/shard.rs".into(),
-                "crates/core/src/trace/".into(),
-                "crates/dataset/src/".into(),
-                "crates/serve/src/".into(),
-            ],
-            // Supervision paths: a panic here takes down a campaign (or a
-            // recorder fan-out) instead of surfacing a typed error.
-            d3_scopes: vec![
-                "crates/core/src/".into(),
-                "crates/dataset/src/pipeline.rs".into(),
-            ],
+            d1_scopes: scopes::owned(scopes::REPLAY_CRITICAL),
+            d2_scopes: scopes::owned(scopes::ORDERED_OUTPUT),
+            d3_scopes: scopes::owned(scopes::SUPERVISION),
             e1: vec![
                 E1Config {
                     enum_file: "crates/core/src/telemetry/mod.rs".into(),
@@ -229,6 +268,11 @@ impl Config {
                 },
             ],
             w1_member_dirs: Some(vec!["crates".into(), "vendor".into()]),
+            t1_entries: EntrySpec::from_defs(scopes::REPLAY_ENTRY_POINTS),
+            t2_entries: EntrySpec::from_defs(scopes::SUPERVISION_ENTRY_POINTS),
+            t2_indexing: false,
+            t3_scopes: scopes::owned(scopes::WORKER_PATHS),
+            harness_scopes: scopes::owned(scopes::HARNESS),
         }
     }
 
@@ -242,15 +286,32 @@ impl Config {
             d3_scopes: Vec::new(),
             e1: Vec::new(),
             w1_member_dirs: None,
+            t1_entries: Vec::new(),
+            t2_entries: Vec::new(),
+            t2_indexing: false,
+            t3_scopes: Vec::new(),
+            harness_scopes: Vec::new(),
         }
     }
 
+    /// Whether any interprocedural rule is on — these need the whole
+    /// source tree, not just the lexical scopes.
+    fn needs_graph(&self) -> bool {
+        !self.t1_entries.is_empty() || !self.t2_entries.is_empty()
+    }
+
     fn rust_scopes(&self) -> Vec<String> {
+        if self.needs_graph() {
+            // The empty prefix matches every path: the call graph is only
+            // sound if it spans all crates.
+            return vec![String::new()];
+        }
         let mut scopes: Vec<String> = self
             .d1_scopes
             .iter()
             .chain(&self.d2_scopes)
             .chain(&self.d3_scopes)
+            .chain(&self.t3_scopes)
             .cloned()
             .collect();
         for e1 in &self.e1 {
@@ -279,6 +340,9 @@ pub fn analyze(config: &Config) -> Result<Vec<Finding>, String> {
         if scan::in_scope(&file.rel, &config.d3_scopes) {
             rules::panics::check(file, &mut findings);
         }
+        if scan::in_scope(&file.rel, &config.t3_scopes) {
+            taint::check_t3(file, &mut findings);
+        }
     }
     for e1 in &config.e1 {
         rules::exhaustive::check(e1, &files, &mut findings);
@@ -286,10 +350,35 @@ pub fn analyze(config: &Config) -> Result<Vec<Finding>, String> {
     if let Some(dirs) = &config.w1_member_dirs {
         rules::posture::check(&config.root, dirs, &mut findings)?;
     }
+    if config.needs_graph() {
+        let parsed: Vec<parse::ParsedFile> = files.iter().map(parse::parse_file).collect();
+        let table = symbols::SymbolTable::build(&files, &parsed, &config.harness_scopes);
+        let graph = callgraph::CallGraph::build(&table, &files);
+        taint::check_t1(&table, &graph, &files, &config.t1_entries, &mut findings);
+        taint::check_t2(
+            &table,
+            &graph,
+            &files,
+            &config.t2_entries,
+            config.t2_indexing,
+            &mut findings,
+        );
+    }
     findings.retain(|f| !is_suppressed(f, &files));
-    findings.sort();
+    sort_canonical(&mut findings);
     findings.dedup();
     Ok(findings)
+}
+
+/// The one finding order every consumer sees: `(file, line, col, rule)`,
+/// with message and hint as final tie-breaks. Applied before baseline
+/// diffing and before every emitter, so text, JSON and SARIF output are
+/// byte-stable run over run.
+pub fn sort_canonical(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule, &a.message, &a.hint)
+            .cmp(&(&b.file, b.line, b.col, b.rule, &b.message, &b.hint))
+    });
 }
 
 /// The outcome of an analysis run judged against a baseline.
@@ -321,9 +410,12 @@ fn is_suppressed(finding: &Finding, files: &[SourceFile]) -> bool {
     let Some(file) = files.iter().find(|f| f.rel == finding.file) else {
         return false;
     };
+    let aliases = finding.rule.alias_of();
     file.lexed.suppressions.iter().any(|s| {
         (s.line == finding.line || s.line + 1 == finding.line)
-            && s.rules.iter().any(|r| r == finding.rule.as_str())
+            && s.rules
+                .iter()
+                .any(|r| r == finding.rule.as_str() || aliases.iter().any(|a| a == r))
     })
 }
 

@@ -3,14 +3,25 @@
 //! ```text
 //! divide-lint [--root DIR] [--baseline FILE | --no-baseline]
 //!             [--write-baseline] [--quiet]
+//!             [--format text|json|sarif] [--out FILE]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` new findings or stale baseline entries,
-//! `2` usage / configuration errors (unreadable files, malformed
-//! baseline).
+//! `--format json` / `--format sarif` additionally emit the combined
+//! finding set (new + baselined) in machine-readable form — to stdout,
+//! or to `--out FILE` so CI can upload the document as an artifact while
+//! keeping the human summary on the console. Exit codes: `0` clean, `1`
+//! new findings or stale baseline entries, `2` usage / configuration
+//! errors (unreadable files, malformed baseline).
 
-use divide_lint::{analyze, baseline::Baseline, discover_root, Config, Finding};
+use divide_lint::{analyze, baseline::Baseline, discover_root, emit, Config, Finding};
 use std::path::PathBuf;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: Option<PathBuf>,
@@ -18,12 +29,14 @@ struct Args {
     no_baseline: bool,
     write_baseline: bool,
     quiet: bool,
+    format: Format,
+    out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: divide-lint [--root DIR] [--baseline FILE | --no-baseline] \
-         [--write-baseline] [--quiet]"
+         [--write-baseline] [--quiet] [--format text|json|sarif] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -35,6 +48,8 @@ fn parse_args() -> Args {
         no_baseline: false,
         write_baseline: false,
         quiet: false,
+        format: Format::Text,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -46,6 +61,15 @@ fn parse_args() -> Args {
             "--no-baseline" => args.no_baseline = true,
             "--write-baseline" => args.write_baseline = true,
             "--quiet" | "-q" => args.quiet = true,
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    _ => usage(),
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -112,6 +136,31 @@ fn main() {
         Ok(findings) => baseline.judge(findings),
         Err(e) => fail(&e),
     };
+
+    if args.format != Format::Text {
+        // The machine-readable document carries every live finding —
+        // baselined debt included — in canonical order.
+        let mut all: Vec<Finding> = outcome
+            .new
+            .iter()
+            .chain(&outcome.baselined)
+            .cloned()
+            .collect();
+        divide_lint::sort_canonical(&mut all);
+        let doc = match args.format {
+            Format::Json => emit::json(&all),
+            Format::Sarif => emit::sarif(&all),
+            Format::Text => unreachable!("guarded above"),
+        };
+        match &args.out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    fail(&format!("cannot write {}: {e}", path.display()));
+                }
+            }
+            None => print!("{doc}"),
+        }
+    }
 
     print_findings("new findings (not baselined):", &outcome.new, args.quiet);
     if !outcome.stale.is_empty() {

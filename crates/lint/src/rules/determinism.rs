@@ -10,79 +10,94 @@
 use crate::scan::{self, SourceFile};
 use crate::{Finding, RuleId};
 
-/// `(path segments, what, hint)` — a match on the qualified path.
-const BANNED_PATHS: &[(&[&str], &str, &str)] = &[
+/// `(path segments, what, hint)` — a match on the qualified path. The
+/// `what` is context-free ("wall-clock read `Instant::now()`"): D1
+/// suffixes "in a replay-critical crate", the T1 taint rule suffixes
+/// the entry point it leaks into.
+pub(crate) const BANNED_PATHS: &[(&[&str], &str, &str)] = &[
     (
         &["Instant", "now"],
-        "wall-clock read `Instant::now()` in a replay-critical crate",
+        "wall-clock read `Instant::now()`",
         "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
     ),
     (
         &["SystemTime", "now"],
-        "wall-clock read `SystemTime::now()` in a replay-critical crate",
+        "wall-clock read `SystemTime::now()`",
         "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
     ),
     (
         &["std", "time", "Instant"],
-        "import of `std::time::Instant` in a replay-critical crate",
+        "import of `std::time::Instant`",
         "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
     ),
     (
         &["std", "time", "SystemTime"],
-        "import of `std::time::SystemTime` in a replay-critical crate",
+        "import of `std::time::SystemTime`",
         "use the campaign's virtual clock (`SimTime`/`EventQueue`) instead",
     ),
     (
         &["std", "env"],
-        "process-environment read via `std::env` in a replay-critical crate",
+        "process-environment read via `std::env`",
         "thread configuration through `BqtConfig`/`CurationOptions` instead",
     ),
 ];
 
 /// Bare identifiers that always mean OS entropy.
-const BANNED_IDENTS: &[(&str, &str, &str)] = &[
+pub(crate) const BANNED_IDENTS: &[(&str, &str, &str)] = &[
     (
         "thread_rng",
-        "OS-entropy RNG `thread_rng` in a replay-critical crate",
+        "OS-entropy RNG `thread_rng`",
         "derive a seeded `StdRng` from the campaign seed (`mix64`)",
     ),
     (
         "from_entropy",
-        "OS-entropy seeding `from_entropy` in a replay-critical crate",
+        "OS-entropy seeding `from_entropy`",
         "derive a seeded `StdRng` from the campaign seed (`mix64`)",
     ),
 ];
 
+/// Ambient-input sites in `tokens[range]`, as `(token index, what, hint)`.
+pub(crate) fn ambient_sites(
+    tokens: &[crate::lexer::Token],
+    range: (usize, usize),
+) -> Vec<(usize, &'static str, &'static str)> {
+    let mut out = Vec::new();
+    if tokens.is_empty() || range.0 > range.1 {
+        return out;
+    }
+    let end = range.1.min(tokens.len() - 1);
+    for i in range.0..=end {
+        for (segs, what, hint) in BANNED_PATHS {
+            if scan::path_at(tokens, i, segs).is_some() {
+                out.push((i, *what, *hint));
+            }
+        }
+        for (name, what, hint) in BANNED_IDENTS {
+            if scan::is_ident(&tokens[i], name) {
+                out.push((i, *what, *hint));
+            }
+        }
+    }
+    out
+}
+
 pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
     let tokens = file.tokens();
-    for i in 0..tokens.len() {
+    if tokens.is_empty() {
+        return;
+    }
+    for (i, what, hint) in ambient_sites(tokens, (0, tokens.len() - 1)) {
         let tok = &tokens[i];
         if file.is_test_line(tok.line) {
             continue;
         }
-        for (segs, what, hint) in BANNED_PATHS {
-            if scan::path_at(tokens, i, segs).is_some() {
-                findings.push(Finding {
-                    file: file.rel.clone(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RuleId::D1,
-                    message: (*what).to_string(),
-                    hint: (*hint).to_string(),
-                });
-            }
-        }
-        for (name, what, hint) in BANNED_IDENTS {
-            if scan::is_ident(tok, name) {
-                findings.push(Finding {
-                    file: file.rel.clone(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RuleId::D1,
-                    message: (*what).to_string(),
-                    hint: (*hint).to_string(),
-                });
-            }
-        }
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            rule: RuleId::D1,
+            message: format!("{what} in a replay-critical crate"),
+            hint: hint.to_string(),
+        });
     }
 }

@@ -38,35 +38,47 @@ const ITER_METHODS: &[&str] = &[
 
 pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
     let tokens = file.tokens();
-    let tracked = tracked_idents(tokens);
-    if tracked.is_empty() {
-        return;
-    }
-    for i in 0..tokens.len() {
+    for (i, name, how) in iteration_sites(tokens) {
         let tok = &tokens[i];
         if file.is_test_line(tok.line) {
             continue;
         }
+        findings.push(finding(file, tok, &name, how));
+    }
+}
+
+/// Hash-order iteration sites as `(token index, map name, how)` —
+/// shared with the T1 taint rule, which treats them as determinism
+/// sources inside fn bodies rather than per-file findings.
+pub(crate) fn iteration_sites(tokens: &[Token]) -> Vec<(usize, String, &'static str)> {
+    let tracked = tracked_idents(tokens);
+    let mut out = Vec::new();
+    if tracked.is_empty() {
+        return out;
+    }
+    for i in 0..tokens.len() {
         // `name.iter()` / `self.name.keys()` — the receiver ident sits
         // two tokens before the method name.
-        if let Some(method) = scan::ident_name(tok) {
-            if ITER_METHODS.contains(&method)
-                && i >= 2
-                && scan::is_punct(&tokens[i - 1], '.')
-                && scan::ident_name(&tokens[i - 2]).is_some_and(|n| tracked.contains(n))
-                && tokens.get(i + 1).is_some_and(|t| scan::is_punct(t, '('))
-            {
-                let name = scan::ident_name(&tokens[i - 2]).unwrap_or_default();
-                findings.push(finding(file, tok, name, method));
+        if let Some(method) = scan::ident_name(&tokens[i]) {
+            if let Some(&known) = ITER_METHODS.iter().find(|m| **m == method) {
+                if i >= 2
+                    && scan::is_punct(&tokens[i - 1], '.')
+                    && scan::ident_name(&tokens[i - 2]).is_some_and(|n| tracked.contains(n))
+                    && tokens.get(i + 1).is_some_and(|t| scan::is_punct(t, '('))
+                {
+                    let name = scan::ident_name(&tokens[i - 2]).unwrap_or_default();
+                    out.push((i, name.to_string(), known));
+                }
             }
             // `for x in &name { ... }` — implicit IntoIterator.
             if method == "in" {
-                if let Some((name, at)) = for_in_target(tokens, i, &tracked) {
-                    findings.push(finding(file, at, name, "for-in"));
+                if let Some((name, k)) = for_in_target(tokens, i, &tracked) {
+                    out.push((k, name.to_string(), "for-in"));
                 }
             }
         }
     }
+    out
 }
 
 fn finding(file: &SourceFile, tok: &Token, name: &str, how: &str) -> Finding {
@@ -85,11 +97,12 @@ fn finding(file: &SourceFile, tok: &Token, name: &str, how: &str) -> Finding {
 
 /// After `in`, skip `&`, `mut`, `self`, `.`; if the next ident is tracked
 /// and the loop body opens right after it, that's hash-order iteration.
+/// Returns `(name, token index of the name)`.
 fn for_in_target<'a>(
     tokens: &'a [Token],
     in_idx: usize,
     tracked: &BTreeSet<String>,
-) -> Option<(&'a str, &'a Token)> {
+) -> Option<(&'a str, usize)> {
     let mut k = in_idx + 1;
     while k < tokens.len() {
         let t = &tokens[k];
@@ -110,7 +123,7 @@ fn for_in_target<'a>(
     // Only a direct `{` means the map itself is the iterator; a method
     // call on it is judged by the method rule instead.
     if scan::is_punct(tokens.get(k + 1)?, '{') {
-        Some((name, &tokens[k]))
+        Some((name, k))
     } else {
         None
     }

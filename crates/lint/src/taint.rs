@@ -1,0 +1,484 @@
+//! **T1/T2/T3** — the interprocedural rule family, built on the
+//! [`crate::parse`] → [`crate::symbols`] → [`crate::callgraph`] stack.
+//!
+//! The lexical D-rules answer "does this *file* contain a banned
+//! construct"; the T-rules answer the question that actually matters for
+//! replay: "can a *replay entry point* reach one". A wall-clock read in
+//! a leaf helper is harmless until somebody wires that helper into
+//! `Campaign::run` — at which point the D1 scope list may not even cover
+//! the helper's crate. T1 closes that hole transitively:
+//!
+//! * **T1 determinism taint** — seeds taint at wall-clock / OS-entropy /
+//!   `std::env` reads and hash-order iteration sites, and reports every
+//!   source a replay entry point ([`crate::scopes::REPLAY_ENTRY_POINTS`])
+//!   can reach, with the full witness call chain in the hint;
+//! * **T2 panic reachability** — same propagation for
+//!   `unwrap`/`expect`/panicking macros (and, optionally, slice
+//!   indexing) reachable from supervision entries — the call-graph
+//!   upgrade of D3's file-scope approximation;
+//! * **T3 lock discipline** — a lexical check on worker-path files
+//!   ([`crate::scopes::WORKER_PATHS`]): cross-shard state must flow
+//!   through per-shard slots (`slots[id].lock()`) merged on `(at, seq)`,
+//!   never through un-sharded locks or non-`Relaxed` atomic orderings
+//!   that would make output depend on OS scheduling.
+//!
+//! Findings land on the *source* token (the `Instant::now()`, the
+//! `unwrap()`), where a `lint:allow` belongs and where the baseline can
+//! match them stably; the witness chain lives in the hint so an edit to
+//! an intermediate caller doesn't churn baseline entries.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::Token;
+use crate::rules::{determinism, ordering};
+use crate::scan::{self, SourceFile};
+use crate::scopes::EntryPointDef;
+use crate::symbols::SymbolTable;
+use crate::{Finding, RuleId};
+use std::collections::BTreeSet;
+
+/// Owned form of [`EntryPointDef`] carried by `Config`.
+#[derive(Debug, Clone)]
+pub struct EntrySpec {
+    /// Workspace-relative file prefix the entry must live under.
+    pub file: String,
+    /// `None` matches any owner (or a free fn).
+    pub owner: Option<String>,
+    pub name: String,
+}
+
+impl EntrySpec {
+    pub fn from_def(def: &EntryPointDef) -> Self {
+        Self {
+            file: def.file.to_string(),
+            owner: def.owner.map(str::to_string),
+            name: def.name.to_string(),
+        }
+    }
+
+    pub fn from_defs(defs: &[EntryPointDef]) -> Vec<Self> {
+        defs.iter().map(Self::from_def).collect()
+    }
+}
+
+/// Resolved entry points with their BFS distance maps — computed once,
+/// shared by every source site a rule seeds.
+struct Reach {
+    /// `(entry fn id, display name, distances)`, in manifest order.
+    entries: Vec<(usize, String, Vec<Option<u32>>)>,
+}
+
+impl Reach {
+    fn new(table: &SymbolTable, graph: &CallGraph, specs: &[EntrySpec]) -> Self {
+        let mut seen = BTreeSet::new();
+        let mut entries = Vec::new();
+        for spec in specs {
+            for id in table.lookup_entry(&spec.file, spec.owner.as_deref(), &spec.name) {
+                if seen.insert(id) {
+                    entries.push((id, table.fns[id].display(), graph.distances(id)));
+                }
+            }
+        }
+        Self { entries }
+    }
+
+    /// The nearest entry reaching `target`: ties break toward manifest
+    /// order, so the reported entry is stable under unrelated edits.
+    fn nearest(&self, target: usize) -> Option<(usize, &str)> {
+        let mut best: Option<(u32, usize, &str)> = None;
+        for (id, display, dist) in &self.entries {
+            let Some(d) = dist.get(target).copied().flatten() else {
+                continue;
+            };
+            if best.is_none_or(|(bd, _, _)| d < bd) {
+                best = Some((d, *id, display));
+            }
+        }
+        best.map(|(_, id, display)| (id, display))
+    }
+}
+
+/// Renders `entry → .. → sink` as `Name (file:line) -> ..`.
+fn render_chain(table: &SymbolTable, graph: &CallGraph, entry: usize, sink: usize) -> String {
+    let ids = graph.witness(entry, sink).unwrap_or_else(|| vec![sink]);
+    let hops: Vec<String> = ids
+        .iter()
+        .map(|&id| {
+            let f = &table.fns[id];
+            format!("{} ({}:{})", f.display(), f.file, f.line)
+        })
+        .collect();
+    format!("call chain: {}", hops.join(" -> "))
+}
+
+/// Maps a token index to the innermost enclosing non-test fn, if any.
+/// Nested fns shadow their parents so a source inside a helper is
+/// attributed to the helper, not to every fn whose span contains it.
+fn enclosing_fn(table: &SymbolTable, file_idx: usize, tok: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (span width, id)
+    for (id, f) in table.fns.iter().enumerate() {
+        if f.file_idx != file_idx || f.is_test {
+            continue;
+        }
+        let (start, end) = f.span;
+        if tok < start || tok > end {
+            continue;
+        }
+        let width = end - start;
+        if best.is_none_or(|(bw, _)| width < bw) {
+            best = Some((width, id));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// **T1**: every determinism source (ambient input or hash-order
+/// iteration) reachable from a replay entry point.
+pub fn check_t1(
+    table: &SymbolTable,
+    graph: &CallGraph,
+    files: &[SourceFile],
+    specs: &[EntrySpec],
+    findings: &mut Vec<Finding>,
+) {
+    if specs.is_empty() {
+        return;
+    }
+    let reach = Reach::new(table, graph, specs);
+    if reach.entries.is_empty() {
+        return;
+    }
+    for (file_idx, file) in files.iter().enumerate() {
+        let tokens = file.tokens();
+        if tokens.is_empty() {
+            continue;
+        }
+        // (token index, what, fix hint)
+        let mut sources: Vec<(usize, String, String)> = Vec::new();
+        for (i, what, hint) in determinism::ambient_sites(tokens, (0, tokens.len() - 1)) {
+            sources.push((i, what.to_string(), hint.to_string()));
+        }
+        for (i, name, how) in ordering::iteration_sites(tokens) {
+            sources.push((
+                i,
+                format!("hash-order iteration (`{how}`) over `{name}`"),
+                "declare it as BTreeMap/BTreeSet, or collect and sort explicitly".to_string(),
+            ));
+        }
+        for (i, what, fix) in sources {
+            let tok = &tokens[i];
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let Some(fid) = enclosing_fn(table, file_idx, i) else {
+                continue; // top-level items (imports) stay D1's business
+            };
+            if table.fns[fid].is_harness {
+                continue;
+            }
+            let Some((entry, display)) = reach.nearest(fid) else {
+                continue;
+            };
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                rule: RuleId::T1,
+                message: format!("{what} reachable from replay entry `{display}`"),
+                hint: format!("{}; {fix}", render_chain(table, graph, entry, fid)),
+            });
+        }
+    }
+}
+
+/// **T2**: every panic site reachable from a supervision entry point.
+/// `indexing` additionally seeds `slice[idx]` expressions — off in the
+/// workspace policy (too many checked-by-construction sites), on in
+/// fixtures that exercise it.
+pub fn check_t2(
+    table: &SymbolTable,
+    graph: &CallGraph,
+    files: &[SourceFile],
+    specs: &[EntrySpec],
+    indexing: bool,
+    findings: &mut Vec<Finding>,
+) {
+    if specs.is_empty() {
+        return;
+    }
+    let reach = Reach::new(table, graph, specs);
+    if reach.entries.is_empty() {
+        return;
+    }
+    for (file_idx, file) in files.iter().enumerate() {
+        let tokens = file.tokens();
+        for (i, what) in panic_sites(tokens, indexing) {
+            let tok = &tokens[i];
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let Some(fid) = enclosing_fn(table, file_idx, i) else {
+                continue;
+            };
+            if table.fns[fid].is_harness {
+                continue;
+            }
+            let Some((entry, display)) = reach.nearest(fid) else {
+                continue;
+            };
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                rule: RuleId::T2,
+                message: format!("{what} reachable from supervision entry `{display}`"),
+                hint: format!(
+                    "{}; return a typed error or restructure with let-else/map_or",
+                    render_chain(table, graph, entry, fid)
+                ),
+            });
+        }
+    }
+}
+
+/// Macros that abort the thread outright. `assert!` family is exempt:
+/// those are deliberate invariant checks whose failure means the code
+/// is wrong, not that an input was — flagging them would train people
+/// to delete their invariants.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Panic sites in a token stream: `(token index, description)`.
+fn panic_sites(tokens: &[Token], indexing: bool) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let Some(name) = scan::ident_name(&tokens[i]) else {
+            continue;
+        };
+        let prev_dot = i >= 1 && scan::is_punct(&tokens[i - 1], '.');
+        let next = |n: usize| tokens.get(i + n);
+        // `.unwrap()` exactly — `unwrap_or*` are total.
+        if prev_dot
+            && name == "unwrap"
+            && next(1).is_some_and(|t| scan::is_punct(t, '('))
+            && next(2).is_some_and(|t| scan::is_punct(t, ')'))
+        {
+            out.push((i, "`.unwrap()`".to_string()));
+        }
+        if prev_dot && name == "expect" && next(1).is_some_and(|t| scan::is_punct(t, '(')) {
+            out.push((i, "`.expect()`".to_string()));
+        }
+        // `panic!(..)` and friends.
+        let is_macro = next(1).is_some_and(|t| scan::is_punct(t, '!'));
+        if is_macro && PANIC_MACROS.contains(&name) {
+            out.push((i, format!("panicking macro `{name}!`")));
+        }
+    }
+    // `recv[idx]` — optional, noisy on checked-by-construction code.
+    if indexing {
+        for i in 1..tokens.len() {
+            if scan::is_punct(&tokens[i], '[')
+                && scan::ident_name(&tokens[i - 1]).is_some()
+                && tokens.get(i + 1).is_some_and(|t| !scan::is_punct(t, ']'))
+            {
+                out.push((i, "possibly-panicking indexing `[..]`".to_string()));
+            }
+        }
+        out.sort_by_key(|(i, _)| *i);
+    }
+    out
+}
+
+/// Tracked lock identifiers: `name: ..Mutex<..>` / `name = Mutex::new(..)`
+/// declarations, including through wrappers (`Arc<Mutex<..>>`). The
+/// leftward walk stops at `:` or `=` and takes the ident before it.
+fn tracked_locks(tokens: &[Token]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for i in 0..tokens.len() {
+        let Some(ty) = scan::ident_name(&tokens[i]) else {
+            continue;
+        };
+        if ty != "Mutex" && ty != "RwLock" {
+            continue;
+        }
+        // Walk left over wrapper-type syntax to the declaring `:`/`=`.
+        let mut j = i;
+        let mut steps = 0;
+        while j >= 1 && steps < 16 {
+            let t = &tokens[j - 1];
+            let wrapper = scan::ident_name(t).is_some_and(|n| {
+                n.chars().next().is_some_and(char::is_uppercase) || n == "std" || n == "sync"
+            });
+            if wrapper
+                || scan::is_punct(t, '<')
+                || scan::is_punct(t, ':') && j >= 2 && scan::is_punct(&tokens[j - 2], ':')
+            {
+                j -= 1;
+                steps += 1;
+                continue;
+            }
+            break;
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = &tokens[j - 1];
+        let declares = (scan::is_punct(before, ':')
+            && !(j >= 2 && scan::is_punct(&tokens[j - 2], ':')))
+            || scan::is_punct(before, '=');
+        if declares && j >= 2 {
+            if let Some(name) = scan::ident_name(&tokens[j - 2]) {
+                // `type Alias = Mutex<..>` declares a type, not a value.
+                if !(j >= 3 && scan::is_ident(&tokens[j - 3], "type")) {
+                    tracked.insert(name.to_string());
+                }
+            }
+        }
+    }
+    tracked
+}
+
+/// Atomic orderings that impose cross-shard synchronization order. The
+/// sanctioned worker idiom needs none: shard claims use a `Relaxed`
+/// counter (any interleaving yields the same partition) and results
+/// merge on `(at, seq)` after `join`.
+const SYNC_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
+
+/// Methods that take a lock.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// **T3**: lock/ordering discipline in worker-path files. Flags
+/// un-sharded lock acquisition (`shared.lock()` where `shared` is a
+/// tracked `Mutex`/`RwLock` — per-shard `slots[id].lock()` passes, the
+/// receiver there is an index expression) and non-`Relaxed` atomic
+/// orderings.
+pub fn check_t3(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = file.tokens();
+    let tracked = tracked_locks(tokens);
+    for i in 0..tokens.len() {
+        let tok = &tokens[i];
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        let Some(name) = scan::ident_name(tok) else {
+            continue;
+        };
+        // `shared.lock()` — receiver is a bare tracked ident (an indexed
+        // receiver puts `]` before the dot and never matches).
+        if LOCK_METHODS.contains(&name)
+            && i >= 2
+            && scan::is_punct(&tokens[i - 1], '.')
+            && tokens.get(i + 1).is_some_and(|t| scan::is_punct(t, '('))
+        {
+            if let Some(recv) = scan::ident_name(&tokens[i - 2]) {
+                if tracked.contains(recv) {
+                    findings.push(Finding {
+                        file: file.rel.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        rule: RuleId::T3,
+                        message: format!(
+                            "un-sharded lock acquisition `{recv}.{name}()` in a worker path"
+                        ),
+                        hint: "give each shard its own slot (`slots[shard_id].lock()`) and \
+                               merge results on `(at, seq)` after join"
+                            .into(),
+                    });
+                }
+            }
+        }
+        // `Ordering::SeqCst` etc. — scheduling-dependent synchronization.
+        if SYNC_ORDERINGS.contains(&name)
+            && i >= 2
+            && scan::is_punct(&tokens[i - 1], ':')
+            && scan::is_punct(&tokens[i - 2], ':')
+            && i >= 3
+            && scan::is_ident(&tokens[i - 3], "Ordering")
+        {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                rule: RuleId::T3,
+                message: format!(
+                    "synchronizing atomic ordering `Ordering::{name}` in a worker path"
+                ),
+                hint: "worker claims must be order-free: use `Ordering::Relaxed` counters and \
+                       merge on `(at, seq)` instead of synchronizing on atomics"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> SourceFile {
+        SourceFile::new("t.rs".to_string(), src.as_bytes())
+    }
+
+    #[test]
+    fn panic_sites_find_unwrap_expect_and_macros() {
+        let f = lex("fn f(x: Option<u8>) { x.unwrap(); x.expect(\"m\"); panic!(\"n\"); }");
+        let sites = panic_sites(f.tokens(), false);
+        let kinds: Vec<&str> = sites.iter().map(|(_, w)| w.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["`.unwrap()`", "`.expect()`", "panicking macro `panic!`"]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_named_macros_and_asserts_do_not_match() {
+        let f = lex(
+            "fn f(x: Option<u8>) { x.unwrap_or(0); x.unwrap_or_default(); println!(\"k\"); \
+             assert!(true); assert_eq!(1, 1); }",
+        );
+        assert!(panic_sites(f.tokens(), false).is_empty());
+    }
+
+    #[test]
+    fn indexing_sites_are_gated() {
+        let f = lex("fn f(v: &[u8], i: usize) -> u8 { v[i] }");
+        assert!(panic_sites(f.tokens(), false).is_empty());
+        assert_eq!(panic_sites(f.tokens(), true).len(), 1);
+    }
+
+    #[test]
+    fn tracked_locks_see_through_wrappers_but_not_type_aliases() {
+        let f = lex("type Slot = Mutex<u8>;\n\
+             struct S { shared: Arc<Mutex<Vec<u8>>>, plain: RwLock<u8> }\n\
+             fn f() { let local = Mutex::new(0u8); }");
+        let tracked = tracked_locks(f.tokens());
+        assert!(tracked.contains("shared"));
+        assert!(tracked.contains("plain"));
+        assert!(tracked.contains("local"));
+        assert!(!tracked.contains("Slot"));
+    }
+
+    #[test]
+    fn t3_passes_the_sanctioned_shard_idiom() {
+        let f = lex("fn run() {\n\
+             let slots: Vec<Mutex<Option<u8>>> = Vec::new();\n\
+             let got = slots[3].lock();\n\
+             let claimed = next.fetch_add(1, Ordering::Relaxed);\n\
+             }");
+        let mut findings = Vec::new();
+        check_t3(&f, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn t3_flags_unsharded_locks_and_sync_orderings() {
+        let f = lex("fn run() {\n\
+             let shared: Mutex<Vec<u8>> = Mutex::new(Vec::new());\n\
+             shared.lock().ok();\n\
+             flag.store(true, Ordering::SeqCst);\n\
+             }");
+        let mut findings = Vec::new();
+        check_t3(&f, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("shared.lock()"));
+        assert!(findings[1].message.contains("SeqCst"));
+    }
+}

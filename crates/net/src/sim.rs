@@ -43,6 +43,7 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse((time, _, slot)) = self.heap.pop()?;
+        // lint:allow(T2): each heap slot is filled exactly once per push
         let event = self.payloads[slot].take().expect("event popped twice");
         Some((time, event))
     }

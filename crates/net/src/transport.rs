@@ -254,6 +254,7 @@ impl Transport {
             .codec
             .decode(&mut buf)
             .map_err(|e| TransportError::Garbled(e.to_string()))?
+            // lint:allow(T2): a frame we just encoded always decodes complete
             .expect("frame just encoded is complete");
         let wire =
             std::str::from_utf8(&frame).map_err(|e| TransportError::Garbled(e.to_string()))?;
@@ -274,6 +275,7 @@ impl Transport {
             .codec
             .decode(&mut rbuf)
             .map_err(|e| TransportError::Garbled(e.to_string()))?
+            // lint:allow(T2): a frame we just encoded always decodes complete
             .expect("frame just encoded is complete");
         let rwire =
             std::str::from_utf8(&rframe).map_err(|e| TransportError::Garbled(e.to_string()))?;

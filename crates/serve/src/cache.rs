@@ -75,6 +75,7 @@ impl LruCache {
             let (_, victim) = self
                 .by_tick
                 .pop_first()
+                // lint:allow(T2): len > capacity guarantees a first entry
                 .expect("over capacity implies entries");
             self.by_key.remove(&victim);
             self.evicted.push(victim);

@@ -95,6 +95,7 @@ impl Zipf {
     }
 
     fn sample(&self, rng: &mut StdRng) -> usize {
+        // lint:allow(T2): cumulative is built from a non-empty class list
         let total = *self.cumulative.last().expect("non-empty by construction");
         let u = rng.gen::<f64>() * total;
         self.cumulative.partition_point(|&c| c < u)

@@ -283,6 +283,176 @@ fn real_trace_module_is_clean_under_all_rules() {
     );
 }
 
+// ---- T1/T2: interprocedural taint -----------------------------------
+
+fn entry(file: &str, owner: Option<&str>, name: &str) -> divide_lint::EntrySpec {
+    divide_lint::EntrySpec {
+        file: file.into(),
+        owner: owner.map(str::to_string),
+        name: name.into(),
+    }
+}
+
+/// The tentpole case: the wall-clock read sits two calls below the
+/// entry point, in a fn no lexical scope list would ever name — and the
+/// finding carries the complete entry → helper → sink witness chain.
+#[test]
+fn t1_reports_transitive_sources_with_full_chains() {
+    let findings = run(|c| {
+        c.t1_entries = vec![entry("taint/t1_bad.rs", Some("Campaign"), "run")];
+    });
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RuleId::T1));
+    let wall = findings
+        .iter()
+        .find(|f| f.message.contains("Instant::now"))
+        .expect("wall-clock finding");
+    assert!(
+        wall.message
+            .contains("reachable from replay entry `Campaign::run`"),
+        "{}",
+        wall.message
+    );
+    assert!(
+        wall.hint.contains("Campaign::run (taint/t1_bad.rs:")
+            && wall.hint.contains("-> checkpoint (taint/t1_bad.rs:")
+            && wall.hint.contains("-> stamp (taint/t1_bad.rs:"),
+        "incomplete witness chain: {}",
+        wall.hint
+    );
+    let hash = findings
+        .iter()
+        .find(|f| f.message.contains("hash-order iteration"))
+        .expect("hash-iteration finding");
+    assert!(hash.hint.contains("-> hash_summary"), "{}", hash.hint);
+}
+
+/// Virtual clock threaded in, one reasoned `lint:allow(D1)` (aliasing
+/// over to T1), a tainted-but-unreachable dev helper, and test-only
+/// clock reads: all quiet.
+#[test]
+fn t1_clean_virtual_clock_allows_and_unreachable_sources_pass() {
+    let findings = run(|c| {
+        c.t1_entries = vec![entry("taint/t1_clean.rs", Some("Campaign"), "run")];
+    });
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn t2_reports_transitive_panics_and_gates_indexing() {
+    let findings = run(|c| {
+        c.t2_entries = vec![entry("taint/t2_bad.rs", None, "supervise")];
+    });
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RuleId::T2));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("panicking macro `panic!`")));
+    let unwrap = findings
+        .iter()
+        .find(|f| f.message.contains("`.unwrap()`"))
+        .expect("unwrap finding");
+    assert!(unwrap
+        .message
+        .contains("reachable from supervision entry `supervise`"));
+    assert!(
+        unwrap.hint.contains("-> tally") && unwrap.hint.contains("-> parse_row"),
+        "incomplete witness chain: {}",
+        unwrap.hint
+    );
+
+    // The indexing source is opt-in; turning it on adds exactly the
+    // `rows[0]` site.
+    let with_indexing = run(|c| {
+        c.t2_entries = vec![entry("taint/t2_bad.rs", None, "supervise")];
+        c.t2_indexing = true;
+    });
+    assert_eq!(with_indexing.len(), 3, "{with_indexing:?}");
+    assert!(with_indexing
+        .iter()
+        .any(|f| f.message.contains("possibly-panicking indexing")));
+}
+
+/// Typed errors, a reasoned `lint:allow(D3)` (aliasing over to T2) and
+/// test-only unwraps: all quiet.
+#[test]
+fn t2_clean_typed_errors_allows_and_tests_pass() {
+    let findings = run(|c| {
+        c.t2_entries = vec![entry("taint/t2_clean.rs", None, "supervise")];
+    });
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---- T3: worker lock discipline -------------------------------------
+
+#[test]
+fn t3_flags_shared_locks_and_sync_orderings() {
+    let findings = run(|c| c.t3_scopes = vec!["taint/t3_bad.rs".into()]);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RuleId::T3));
+    assert!(findings.iter().any(|f| f
+        .message
+        .contains("un-sharded lock acquisition `shared.lock()`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`Ordering::SeqCst`")));
+}
+
+/// The sanctioned idiom — indexed per-shard slots, `Relaxed` claims,
+/// merge after join — passes clean.
+#[test]
+fn t3_sanctioned_shard_slot_idiom_passes() {
+    let findings = run(|c| c.t3_scopes = vec!["taint/t3_clean.rs".into()]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---- canonical ordering ----------------------------------------------
+
+/// Satellite regression gate: `analyze` returns findings already in
+/// canonical `(file, line, col, rule)` order, identically across runs —
+/// the property both the baseline differ and the JSON/SARIF emitters
+/// lean on.
+#[test]
+fn findings_are_canonically_ordered_and_stable() {
+    let run_once = || {
+        run(|c| {
+            c.d1_scopes = vec!["d1/bad.rs".into(), "drift/bad.rs".into()];
+            c.d2_scopes = vec!["d2/bad.rs".into(), "shard/bad.rs".into()];
+            c.d3_scopes = vec!["d3/bad.rs".into()];
+            c.t1_entries = vec![entry("taint/t1_bad.rs", Some("Campaign"), "run")];
+            c.t2_entries = vec![entry("taint/t2_bad.rs", None, "supervise")];
+            c.t3_scopes = vec!["taint/t3_bad.rs".into()];
+        })
+    };
+    let first = run_once();
+    let second = run_once();
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "analysis must be run-to-run stable");
+    let mut resorted = first.clone();
+    divide_lint::sort_canonical(&mut resorted);
+    assert_eq!(first, resorted, "analyze() must return canonical order");
+    for pair in first.windows(2) {
+        let a = (&pair[0].file, pair[0].line, pair[0].col, pair[0].rule);
+        let b = (&pair[1].file, pair[1].line, pair[1].col, pair[1].rule);
+        assert!(a <= b, "out of order: {a:?} then {b:?}");
+    }
+}
+
+/// The emitters consume that canonical order and render every finding.
+#[test]
+fn emitters_render_fixture_findings() {
+    let findings = run(|c| {
+        c.t1_entries = vec![entry("taint/t1_bad.rs", Some("Campaign"), "run")];
+    });
+    let json = divide_lint::emit::json(&findings);
+    assert!(json.contains("\"rule\": \"T1\""));
+    assert!(json.contains("call chain:"));
+    let sarif = divide_lint::emit::sarif(&findings);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"ruleId\": \"T1\""));
+    assert!(sarif.contains("taint/t1_bad.rs"));
+}
+
 // ---- E1: telemetry exhaustiveness -----------------------------------
 
 fn e1_config(file: &str) -> divide_lint::E1Config {
@@ -426,5 +596,53 @@ proptest! {
         text in "[ -~\\n\"'/*#r]{0,512}",
     ) {
         let _ = divide_lint::lexer::lex(&text);
+    }
+
+    /// The item parser is total on arbitrary source-shaped text —
+    /// unbalanced braces, truncated headers, attribute soup — and every
+    /// extracted span stays inside the token stream.
+    #[test]
+    fn parser_never_panics_on_source_shaped_text(
+        text in "[ -~\\n\"'/*#r{}()<>:;.,!&|=]{0,512}",
+    ) {
+        let file = divide_lint::SourceFile::new("p.rs".into(), text.as_bytes());
+        let parsed = divide_lint::parse::parse_file(&file);
+        let n = file.tokens().len();
+        for f in &parsed.fns {
+            prop_assert!(f.span.0 <= f.span.1, "inverted span in {f:?}");
+            prop_assert!(n == 0 || f.span.1 < n, "span out of bounds in {f:?}");
+        }
+    }
+
+    /// Item-shaped fragment soup stresses the brace-tree specifically:
+    /// fn/impl/mod headers, attributes, turbofish, nested closers in any
+    /// interleaving — the parser never panics and spans stay sane.
+    #[test]
+    fn parser_survives_item_fragment_soup(
+        picks in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        const FRAGMENTS: &[&str] = &[
+            "fn f(", ") {", "}", "{",
+            "impl Type {", "impl Trait for Type {",
+            "mod m {", "trait T {",
+            "self.call();", "x::y(z);", "free();",
+            "#[attr(a, b)]", "let x = v[i];",
+            "parse::<u64>(s)", "panic!(\"b\")",
+            "\"unterminated", "// comment\n", "'a>",
+        ];
+        let text: String = picks
+            .iter()
+            .map(|&p| FRAGMENTS[p as usize % FRAGMENTS.len()])
+            .collect();
+        let file = divide_lint::SourceFile::new("p.rs".into(), text.as_bytes());
+        let parsed = divide_lint::parse::parse_file(&file);
+        let n = file.tokens().len();
+        for f in &parsed.fns {
+            prop_assert!(f.span.0 <= f.span.1);
+            prop_assert!(n == 0 || f.span.1 < n);
+            for call in &f.calls {
+                prop_assert!(call.line >= 1 && call.col >= 1);
+            }
+        }
     }
 }

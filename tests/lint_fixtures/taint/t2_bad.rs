@@ -1,0 +1,30 @@
+//! Known-bad T2 shape: a supervision entry reaches panic sites through
+//! two layers of helpers — `.unwrap()`, a panicking macro, and (when
+//! the indexing source is enabled) a bare slice index.
+
+/// The supervision entry point.
+pub fn supervise(rows: &[&str]) -> u32 {
+    tally(rows) + first_row(rows)
+}
+
+/// One hop down.
+fn tally(rows: &[&str]) -> u32 {
+    let mut acc = 0;
+    for row in rows {
+        acc += parse_row(row);
+    }
+    acc
+}
+
+/// Two hops down: the panic sites.
+fn parse_row(row: &str) -> u32 {
+    if row.is_empty() {
+        panic!("empty row");
+    }
+    row.parse().unwrap()
+}
+
+/// Indexing source — only flagged when `t2_indexing` is on.
+fn first_row(rows: &[&str]) -> u32 {
+    rows[0].len() as u32
+}

@@ -1,0 +1,18 @@
+//! Known-bad T3 shape: workers funnel results through one shared lock
+//! (output order now depends on OS scheduling) and synchronize on a
+//! `SeqCst` atomic instead of claiming shards with a `Relaxed` counter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn execute(jobs: usize) -> Vec<usize> {
+    let shared: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let turn = AtomicUsize::new(0);
+    for j in 0..jobs {
+        turn.store(j, Ordering::SeqCst);
+        if let Ok(mut out) = shared.lock() {
+            out.push(j);
+        }
+    }
+    shared.into_inner().unwrap_or_default()
+}

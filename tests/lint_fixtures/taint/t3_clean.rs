@@ -1,0 +1,28 @@
+//! Clean T3 shape — the sanctioned worker idiom: every shard owns a
+//! slot indexed by shard id, claims use a `Relaxed` counter (any
+//! interleaving yields the same partition), and results merge
+//! deterministically after join.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn execute(shards: usize) -> Vec<usize> {
+    let slots: Vec<Mutex<Option<usize>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    loop {
+        let id = next.fetch_add(1, Ordering::Relaxed);
+        if id >= shards {
+            break;
+        }
+        if let Ok(mut slot) = slots[id].lock() {
+            *slot = Some(id);
+        }
+    }
+    let mut merged = Vec::new();
+    for slot in slots {
+        if let Ok(Some(v)) = slot.into_inner().map(|v| v) {
+            merged.push(v);
+        }
+    }
+    merged
+}
